@@ -1,0 +1,142 @@
+package sparsematch
+
+import (
+	"io"
+
+	"repro/internal/dist"
+	"repro/internal/dyndist"
+	"repro/internal/dynmatch"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/stream"
+)
+
+// ---------------------------------------------------------------------------
+// Graph I/O.
+
+// WriteGraph encodes g in the library's text edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteText(w, g) }
+
+// ReadGraph decodes a graph from the text edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
+
+// ---------------------------------------------------------------------------
+// Generators for the bounded-β families the paper highlights. Each function
+// documents the certified bound on the neighborhood independence number.
+
+// Clique returns K_n (β = 1).
+func Clique(n int) *Graph { return gen.Clique(n) }
+
+// UnitDisk returns a random unit-disk graph: n uniform points in the unit
+// square, edges between points within the given radius (β ≤ 5).
+func UnitDisk(n int, radius float64, seed uint64) *Graph { return gen.UnitDisk(n, radius, seed) }
+
+// LineGraph returns the line graph of g (β ≤ 2) and the g-edge represented
+// by each line-graph vertex.
+func LineGraph(g *Graph) (*Graph, []Edge) { return gen.LineGraph(g) }
+
+// BoundedDiversity returns a union of cliques in which every vertex joins
+// at most k cliques, so the diversity — and hence β — is at most k.
+func BoundedDiversity(n, k, cliqueSize int, seed uint64) *Graph {
+	return gen.BoundedDiversity(n, k, cliqueSize, seed)
+}
+
+// ProperInterval returns a random unit-interval intersection graph (β ≤ 2).
+func ProperInterval(n int, spread float64, seed uint64) *Graph {
+	return gen.ProperInterval(n, spread, seed)
+}
+
+// ErdosRenyi returns G(n, p) — no β guarantee; for general testing.
+func ErdosRenyi(n int, p float64, seed uint64) *Graph { return gen.ErdosRenyi(n, p, seed) }
+
+// ---------------------------------------------------------------------------
+// Fully dynamic matching (Theorem 3.5).
+
+// DynamicOptions configures a dynamic matcher.
+type DynamicOptions = dynmatch.Options
+
+// DynamicMatcher maintains a (1+ε)-approximate maximum matching under edge
+// insertions and deletions with a worst-case per-update work budget of
+// O((β/ε³)·log(1/ε)) units; the approximation holds with high probability
+// against an adaptive adversary.
+type DynamicMatcher = dynmatch.Maintainer
+
+// NewDynamicMatcher creates a dynamic matcher over an empty graph on n
+// vertices for graphs of neighborhood independence at most opts.Beta.
+func NewDynamicMatcher(n int, opts DynamicOptions, seed uint64) *DynamicMatcher {
+	return dynmatch.New(n, opts, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Distributed matching (Theorems 3.2 and 3.3) on the bundled synchronous
+// network simulator.
+
+// DistStats aggregates rounds, messages, and bits of a distributed run.
+type DistStats = dist.Stats
+
+// DistPhaseStats breaks the distributed pipeline cost down per phase.
+type DistPhaseStats = dist.PhaseStats
+
+// DistributedMatching runs the full distributed pipeline of Section 3.2 on
+// a simulated network with topology g: one round to build G_Δ, one round for
+// the bounded-degree composition, then Linial coloring (O(log* n) + O(Δα²)
+// rounds), color-ordered maximal matching and length-3 augmentation — all on
+// the sparsifier, so the message complexity is sublinear in |E(g)|.
+func DistributedMatching(g *Graph, beta int, eps float64, seed uint64) (*Matching, DistPhaseStats) {
+	return dist.ApproxMatchingPipeline(g, beta, eps, dist.PipelineOptions{}, seed)
+}
+
+// DistPipelineOptions tunes the distributed pipeline (per-vertex mark count
+// Δ, composition degree bound Δα, augmentation iterations). Zero fields use
+// the theory-faithful defaults, which are conservative; simulations usually
+// set modest explicit values.
+type DistPipelineOptions = dist.PipelineOptions
+
+// DistributedMatchingOpts is DistributedMatching with explicit pipeline
+// parameters.
+func DistributedMatchingOpts(g *Graph, beta int, eps float64, opt DistPipelineOptions, seed uint64) (*Matching, DistPhaseStats) {
+	return dist.ApproxMatchingPipeline(g, beta, eps, opt, seed)
+}
+
+// DistributedSparsifier builds G_Δ in a single simulated communication
+// round using 1-bit unicast messages; the returned stats certify the
+// message count (≈ nΔ, Theorem 3.3).
+func DistributedSparsifier(g *Graph, delta int, seed uint64) (*Graph, DistStats) {
+	return dist.RunSparsifier(g, delta, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Memory-constrained models (Section 3's streaming and MPC applications).
+
+// StreamingSparsifier consumes an edge stream and maintains per-vertex
+// reservoirs of Δ uniform incident edges — G_Δ in one pass and O(nΔ) memory
+// regardless of the stream length or order.
+type StreamingSparsifier = stream.Sparsifier
+
+// NewStreamingSparsifier creates a streaming sparsifier for n vertices with
+// per-vertex reservoir capacity delta.
+func NewStreamingSparsifier(n, delta int, seed uint64) *StreamingSparsifier {
+	return stream.NewSparsifier(n, delta, seed)
+}
+
+// MPCStats reports the simulated MPC cluster's per-machine loads.
+type MPCStats = mpc.Stats
+
+// SparsifyMPC builds G_Δ on a simulated MPC cluster in two rounds with
+// balanced machine loads; the coordinator ends up holding only the
+// O(nΔ)-edge sparsifier.
+func SparsifyMPC(g *Graph, delta, machines int, seed uint64) (*Graph, MPCStats) {
+	return mpc.SparsifyMPC(g, delta, machines, seed)
+}
+
+// DynDistNetwork maintains the sparsifier and a maximal matching on it in a
+// dynamically changing distributed network: O(Δ) words per processor and
+// O(Δ)-message local repairs per topology update.
+type DynDistNetwork = dyndist.Network
+
+// NewDynDistNetwork creates a dynamic distributed network on n processors
+// with per-vertex mark capacity delta.
+func NewDynDistNetwork(n, delta int, seed uint64) *DynDistNetwork {
+	return dyndist.NewNetwork(n, delta, seed)
+}

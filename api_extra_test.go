@@ -1,0 +1,43 @@
+package sparsematch
+
+import "testing"
+
+func TestFacadeDistributedOpts(t *testing.T) {
+	g := BoundedDiversity(120, 2, 16, 3)
+	opt := DistPipelineOptions{Delta: 3, DeltaAlpha: 5, AugIters: 10}
+	m, ps := DistributedMatchingOpts(g, 2, 0.5, opt, 7)
+	if err := VerifyMatching(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Total.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestFacadeSparsifyMPC(t *testing.T) {
+	g := Clique(80)
+	sp, stats := SparsifyMPC(g, 3, 8, 5)
+	if stats.Rounds != 2 || sp.N() != 80 {
+		t.Errorf("MPC facade: rounds=%d n=%d", stats.Rounds, sp.N())
+	}
+	sp.ForEachEdge(func(u, v int32) {
+		if !g.HasEdge(u, v) {
+			t.Fatalf("MPC sparsifier edge (%d,%d) not in G", u, v)
+		}
+	})
+}
+
+func TestFacadeDynDistNetwork(t *testing.T) {
+	nw := NewDynDistNetwork(80, 3, 9)
+	g := Clique(80)
+	g.ForEachEdge(func(u, v int32) { nw.Insert(u, v) })
+	if nw.Size() == 0 {
+		t.Error("dyndist network matched nothing on a clique")
+	}
+	if err := VerifyMatching(nw.Graph().Snapshot(), nw.Matching()); err != nil {
+		t.Fatal(err)
+	}
+	if nw.MaxLocalWords() >= 79 {
+		t.Errorf("local memory %d not below the naive degree 79", nw.MaxLocalWords())
+	}
+}

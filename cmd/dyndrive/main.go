@@ -1,0 +1,136 @@
+// Command dyndrive replays a dynamic update trace against a dynamic
+// matcher and reports its cost profile and final quality.
+//
+// Usage:
+//
+//	dyndrive -gen diversity2 -n 500 -avgdeg 64 -churn 5000 -out trace.txt
+//	dyndrive -in trace.txt -algo maintainer -beta 2 -eps 0.3
+//
+// Algorithms: maintainer (Theorem 3.5, adaptive-safe), oblivious (the O(Δ)
+// maintained-sparsifier scheme), baseline (repair maximal matching).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/dynmatch"
+	"repro/internal/matching"
+	"repro/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file ('-' for stdin)")
+	genFam := flag.String("gen", "", "instead of replaying, GENERATE a trace of this family")
+	n := flag.Int("n", 500, "vertex count (with -gen)")
+	avgDeg := flag.Float64("avgdeg", 64, "average degree (with -gen)")
+	churn := flag.Int("churn", 5000, "delete+reinsert pairs appended after the load (with -gen)")
+	out := flag.String("out", "-", "output trace file (with -gen)")
+	algo := flag.String("algo", "maintainer", "maintainer | oblivious | baseline")
+	beta := flag.Int("beta", 2, "neighborhood independence bound")
+	eps := flag.Float64("eps", 0.3, "approximation parameter")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *genFam != "" {
+		if err := generate(*genFam, *n, *avgDeg, *churn, *out, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "dyndrive: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dyndrive: need -in trace or -gen family")
+		os.Exit(2)
+	}
+	if err := replay(*in, *algo, *beta, *eps, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dyndrive: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(family string, n int, avgDeg float64, churn int, out string, seed uint64) error {
+	g, _, err := cli.MakeGraph(family, n, avgDeg, seed)
+	if err != nil {
+		return err
+	}
+	tr := trace.Trace{N: g.N(), Updates: dynmatch.BuildUpdates(g, seed)}
+	tr.Updates = append(tr.Updates, dynmatch.ObliviousChurn(g, churn, seed+1)...)
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dyndrive: wrote trace: n=%d, %d updates (%d load + %d churn)\n",
+		tr.N, len(tr.Updates), g.M(), 2*churn)
+	return nil
+}
+
+func replay(in, algo string, beta int, eps float64, seed uint64) error {
+	r := os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Read(r)
+	if err != nil {
+		return err
+	}
+
+	var m dynmatch.Updater
+	switch algo {
+	case "maintainer":
+		m = dynmatch.New(tr.N, dynmatch.Options{Beta: beta, Eps: eps}, seed)
+	case "oblivious":
+		m = dynmatch.NewOblivious(tr.N, dynmatch.Options{Beta: beta, Eps: eps}, seed)
+	case "baseline":
+		m = dynmatch.NewRepairBaseline(tr.N)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	start := time.Now()
+	for _, u := range tr.Updates {
+		u.Apply(m)
+	}
+	elapsed := time.Since(start)
+
+	snap := m.Graph().Snapshot()
+	if err := matching.Verify(snap, m.Matching()); err != nil {
+		return fmt.Errorf("invalid final matching: %w", err)
+	}
+	exact := matching.MaximumGeneral(snap).Size()
+	fmt.Printf("trace: n=%d updates=%d final m=%d\n", tr.N, len(tr.Updates), snap.M())
+	fmt.Printf("algo=%s: matching=%d exact=%d quality=%.4f\n",
+		algo, m.Matching().Size(), exact, float64(m.Matching().Size())/float64(max(1, exact)))
+	fmt.Printf("time: %v total, %v/update\n",
+		elapsed.Round(time.Millisecond), (elapsed / time.Duration(max(1, len(tr.Updates)))).Round(time.Nanosecond))
+	type metered interface{ Metrics() dynmatch.Metrics }
+	if mm, ok := m.(metered); ok {
+		mtr := mm.Metrics()
+		fmt.Printf("work: avg %.1f units/update, worst %d, overrun %d, recomputes %d\n",
+			float64(mtr.UnitsTotal)/float64(max64(1, mtr.Updates)), mtr.MaxUnitsUpdate, mtr.MaxOverrun, mtr.Recomputes)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Command sparsebench regenerates the evaluation tables and figure series
+// of the reproduction (T1–T10, F1–F3 in DESIGN.md).
+//
+// Usage:
+//
+//	sparsebench [-quick] [-seed N] [-experiment T1,T5,F2 | -list]
+//
+// Without -experiment it runs the full suite in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size instances (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 1, "master seed for all randomness")
+	expFlag := flag.String("experiment", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	format := flag.String("format", "text", "output format: text | csv")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	var selected []harness.Experiment
+	if *expFlag == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sparsebench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *format == "csv" {
+		for _, e := range selected {
+			for _, tbl := range e.Run(cfg) {
+				if err := tbl.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		return
+	}
+
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("sparsematch evaluation suite (%s mode, seed %d)\n\n", mode, *seed)
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(cfg)
+		for _, tbl := range tables {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Printf("   [%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkSparsifySizes(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		g := gen.BoundedDiversity(n, 2, 128, 1)
+		for _, method := range []Method{MethodReadOnly, MethodResample} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, method), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					SparsifyOpts(g, Options{Delta: 8, Method: method, Workers: 1}, uint64(i))
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSparsifyParallelScaling(b *testing.B) {
+	g := gen.BoundedDiversity(8000, 2, 256, 2)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SparsifyOpts(g, Options{Delta: 16, Workers: workers}, uint64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkDegeneracy(b *testing.B) {
+	g := Sparsify(gen.BoundedDiversity(8000, 2, 256, 3), 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Degeneracy(g)
+	}
+}
+
+func BenchmarkExactBetaUnitDisk(b *testing.B) {
+	g := gen.UnitDisk(400, 0.08, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactBeta(g)
+	}
+}
+
+func BenchmarkGreedyBetaLowerBound(b *testing.B) {
+	g := gen.UnitDisk(1000, 0.08, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyBetaLowerBound(g)
+	}
+}
+
+func BenchmarkBoundedDegreeSparsifier(b *testing.B) {
+	g := Sparsify(gen.BoundedDiversity(4000, 2, 256, 6), 16, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoundedDegreeSparsifier(g, 20)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMarkIndependenceAcrossEndpoints verifies the property the proof of
+// Theorem 2.1 critically relies on (Observation 2.9): the random choices
+// made "due to" different vertices are independent. On K_n with mark-all
+// disabled, P(u marks uv) = Δ/(n−1) for every incident edge, so
+// P(edge in G_Δ) = 1 − (1 − Δ/(n−1))² and
+// P(marked by both) = (Δ/(n−1))². We estimate both and compare.
+func TestMarkIndependenceAcrossEndpoints(t *testing.T) {
+	const n, delta, trials = 41, 5, 3000
+	g := cliqueN(n)
+	p := float64(delta) / float64(n-1)
+	wantEither := 1 - (1-p)*(1-p)
+	wantBoth := p * p
+
+	edgeU, edgeV := int32(7), int32(23) // an arbitrary fixed edge
+	either, both := 0, 0
+	opt := Options{Delta: delta, MarkAllThreshold: 1, Workers: 1}.withDefaults()
+	for tr := 0; tr < trials; tr++ {
+		markedByU, markedByV := false, false
+		for _, e := range markRange(g, edgeU, edgeU+1, opt, uint64(tr)+1, 0) {
+			if e.Other(edgeU) == edgeV {
+				markedByU = true
+			}
+		}
+		for _, e := range markRange(g, edgeV, edgeV+1, opt, uint64(tr)+1, 0) {
+			if e.Other(edgeV) == edgeU {
+				markedByV = true
+			}
+		}
+		if markedByU || markedByV {
+			either++
+		}
+		if markedByU && markedByV {
+			both++
+		}
+	}
+	gotEither := float64(either) / trials
+	gotBoth := float64(both) / trials
+	// Tolerances: ±4 standard errors.
+	seEither := 4 * math.Sqrt(wantEither*(1-wantEither)/trials)
+	if math.Abs(gotEither-wantEither) > seEither {
+		t.Errorf("P(marked by either) = %.4f, want %.4f ± %.4f", gotEither, wantEither, seEither)
+	}
+	seBoth := 4*math.Sqrt(wantBoth*(1-wantBoth)/trials) + 0.002
+	if math.Abs(gotBoth-wantBoth) > seBoth {
+		t.Errorf("P(marked by both) = %.4f, want %.4f ± %.4f (independence)", gotBoth, wantBoth, seBoth)
+	}
+}
+
+// TestMarkChiSquareUniformity runs a chi-square goodness-of-fit test on the
+// read-only sampler's choices over a fixed vertex's neighborhood.
+func TestMarkChiSquareUniformity(t *testing.T) {
+	const d, delta, trials = 25, 5, 5000
+	b := cliqueN(d + 1)
+	opt := Options{Delta: delta, MarkAllThreshold: 1, Workers: 1}.withDefaults()
+	counts := make([]float64, d+1)
+	for tr := 0; tr < trials; tr++ {
+		for _, e := range markRange(b, 0, 1, opt, uint64(tr)+11, 0) {
+			counts[e.Other(0)]++
+		}
+	}
+	expected := float64(trials) * float64(delta) / float64(d)
+	chi2 := 0.0
+	for v := 1; v <= d; v++ {
+		diff := counts[v] - expected
+		chi2 += diff * diff / expected
+	}
+	// 24 degrees of freedom; the 99.9th percentile of χ²(24) is ≈ 51.2.
+	if chi2 > 51.2 {
+		t.Errorf("chi-square statistic %.1f exceeds the 99.9%% critical value (non-uniform sampling?)", chi2)
+	}
+}

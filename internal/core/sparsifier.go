@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sparsearray"
+)
+
+// Method selects the per-vertex random sampling implementation.
+type Method int
+
+const (
+	// MethodReadOnly emulates Fisher–Yates swaps over the read-only
+	// adjacency arrays through a constant-time-resettable positions array
+	// (the pos_v construction of Section 3.1). Deterministic O(Δ) time per
+	// vertex, never writes to or copies the adjacency arrays.
+	MethodReadOnly Method = iota
+	// MethodResample draws random neighbor indices and rejects repeats
+	// (the "straightforward randomized approach" of Section 3.1).
+	// Expected O(Δ) per vertex when combined with the mark-all tweak.
+	MethodResample
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodReadOnly:
+		return "readonly"
+	case MethodResample:
+		return "resample"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures the sparsifier construction.
+type Options struct {
+	// Delta is the number of incident edges each vertex marks.
+	Delta int
+	// MarkAllThreshold: vertices with degree at most this mark their whole
+	// neighborhood. Zero means the Section 3.1 default of 2·Delta, which
+	// keeps the resample method in expected O(Δ) per vertex and inflates the
+	// size and arboricity bounds by at most a factor of 2.
+	MarkAllThreshold int
+	// Method selects the sampling implementation. Default MethodReadOnly.
+	Method Method
+	// Workers shards the vertex set over this many goroutines, each with an
+	// independent RNG stream. Zero means GOMAXPROCS; 1 forces sequential
+	// construction (used by the deterministic-runtime experiments).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MarkAllThreshold == 0 {
+		o.MarkAllThreshold = 2 * o.Delta
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Sparsify builds the random matching sparsifier G_Δ of g with the default
+// options: each vertex marks delta random incident edges (its entire
+// neighborhood if deg ≤ 2·delta), and the sparsifier is the union of the
+// marked edges. The guarantee of Theorem 2.1 holds when
+// delta ≥ DeltaFor(β(g), ε).
+func Sparsify(g *graph.Static, delta int, seed uint64) *graph.Static {
+	return SparsifyOpts(g, Options{Delta: delta}, seed)
+}
+
+// SparsifyOpts builds G_Δ with explicit options.
+func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
+	if opt.Delta < 1 {
+		panic(fmt.Sprintf("core: Delta must be >= 1, got %d", opt.Delta))
+	}
+	opt = opt.withDefaults()
+	n := g.N()
+	if opt.Workers <= 1 || n < 1024 {
+		edges := markRange(g, 0, int32(n), opt, seed, 0)
+		return graph.FromEdges(n, edges)
+	}
+	workers := opt.Workers
+	chunk := (n + workers - 1) / workers
+	parts := make([][]graph.Edge, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int32(w * chunk)
+		hi := int32(min((w+1)*chunk, n))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int32) {
+			defer wg.Done()
+			parts[w] = markRange(g, lo, hi, opt, seed, uint64(w))
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var edges []graph.Edge
+	for _, p := range parts {
+		edges = append(edges, p...)
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// markRange marks edges for vertices in [lo, hi) and returns them.
+// Each range gets an independent RNG stream keyed by (seed, stream), so the
+// random choices made "due to" different vertices are independent — the
+// property the proof of Theorem 2.1 relies on (Observation 2.9).
+func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64) []graph.Edge {
+	rng := rand.New(rand.NewPCG(seed, stream<<32|0x5bf0&0xffffffff|uint64(lo)))
+	est := int(hi-lo) * min(opt.Delta, 8)
+	edges := make([]graph.Edge, 0, est)
+	var pos *sparsearray.Array[int32]
+	if opt.Method == MethodReadOnly {
+		pos = sparsearray.New[int32](g.MaxDegree(), -1)
+	}
+	var seen map[int]bool
+	if opt.Method == MethodResample {
+		seen = make(map[int]bool, opt.Delta)
+	}
+	for v := lo; v < hi; v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			continue
+		}
+		if d <= opt.MarkAllThreshold {
+			// Low-degree tweak: mark the entire neighborhood.
+			for _, w := range g.Neighbors(v) {
+				edges = append(edges, graph.Edge{U: v, V: w}.Canonical())
+			}
+			continue
+		}
+		switch opt.Method {
+		case MethodReadOnly:
+			edges = appendReadOnlyMarks(edges, g, v, opt.Delta, pos, rng)
+		case MethodResample:
+			clear(seen)
+			for len(seen) < opt.Delta {
+				i := rng.IntN(d)
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				edges = append(edges, graph.Edge{U: v, V: g.Neighbor(v, i)}.Canonical())
+			}
+		default:
+			panic(fmt.Sprintf("core: unknown method %v", opt.Method))
+		}
+	}
+	return edges
+}
+
+// appendReadOnlyMarks samples delta distinct neighbor indices of v without
+// replacement in deterministic O(delta) time, emulating Fisher–Yates swaps
+// on the read-only adjacency array via the positions array pos:
+// pos[i] not live means "entry i has not moved", i.e. it still holds the
+// i-th neighbor; otherwise pos[i] is the index of the neighbor currently
+// (virtually) stored at slot i. Resetting pos between vertices is O(1).
+func appendReadOnlyMarks(edges []graph.Edge, g *graph.Static, v int32, delta int, pos *sparsearray.Array[int32], rng *rand.Rand) []graph.Edge {
+	pos.Reset()
+	d := g.Degree(v)
+	k := min(delta, d)
+	slot := func(i int32) int32 {
+		if pos.Live(int(i)) {
+			return pos.Get(int(i))
+		}
+		return i
+	}
+	for t := 0; t < k; t++ {
+		tail := int32(d - t - 1)
+		i := int32(rng.IntN(d - t))
+		pi := slot(i)
+		edges = append(edges, graph.Edge{U: v, V: g.Neighbor(v, int(pi))}.Canonical())
+		// Virtual swap: slot i takes the tail's entry; the tail slot takes
+		// pi so already-sampled entries stay out of the live prefix.
+		pos.Set(int(i), slot(tail))
+		pos.Set(int(tail), pi)
+	}
+	return edges
+}
+
+// SizeUpperBound returns the Observation 2.10 bound 2·mcm·(Δ+β) on the
+// number of edges of G_Δ, given the MCM size of the *original* graph.
+func SizeUpperBound(mcm, delta, beta int) int {
+	return 2 * mcm * (delta + beta)
+}
+
+// ArboricityUpperBound returns the Observation 2.12 bound on the arboricity
+// of G_Δ for the given options (2Δ, or 2·MarkAllThreshold when the low-degree
+// tweak marks more than Δ edges).
+func ArboricityUpperBound(opt Options) int {
+	opt = opt.withDefaults()
+	return 2 * max(opt.Delta, opt.MarkAllThreshold)
+}

@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Length-3 augmentation stage: starting from a maximal matching, free
+// vertices repeatedly try to flip augmenting paths v–w–x–y where v, y are
+// free and (w, x) is a matched edge. One iteration is six rounds:
+//
+//	A: free vertices coin-flip; initiators send AugInit(id) along a port
+//	   to a matched neighbor (after a maximal matching every neighbor of a
+//	   free vertex is matched).
+//	B: a matched vertex w picks one AugInit and forwards AugFwd(id) to its
+//	   mate x (role w).
+//	C: x, unless it already took role w this iteration, picks a believed-
+//	   free port and sends AugOffer(id) (role x).
+//	D: a free responder y (non-initiator) accepts one offer whose initiator
+//	   is not itself, commits, replies AugAccept.
+//	E: x receives the accept, flips its mate to y, confirms to its old mate.
+//	F: w receives the confirmation, flips its mate to the stored initiator
+//	   port, and notifies v, which commits at the next A.
+//
+// Conflicting chains die silently and retry next iteration; every role is
+// adopted at most once per vertex per iteration, so each vertex's mate
+// changes at most once per iteration and the matching stays consistent.
+// Eliminating length-1 and length-3 augmenting paths yields a 3/2-
+// approximation; the measured quality is reported in experiment T7/T8.
+type aug3Node struct {
+	matchState
+	iters    int
+	initPort int // port this initiator proposed on (stage A), or -1
+	pendInit int // role w: port of the AugInit being serviced, or -1
+	offered  int // role x: port offered on, or -1
+	roleW    bool
+}
+
+const aug3StageLen = 6
+
+func aug3TotalRounds(iters int) int { return 1 + iters*aug3StageLen + 2 }
+
+func (an *aug3Node) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	if round == 0 {
+		// Setup: beliefs start from the matching handed to the stage.
+		an.announced = an.matched // pre-announced via the setup broadcast
+		if an.matched {
+			api.Broadcast(matchedMsg{}, 1)
+		}
+		an.initPort, an.pendInit, an.offered = -1, -1, -1
+		return false
+	}
+	an.applyBeliefs(inbox)
+	iter := (round - 1) / aug3StageLen
+	switch (round - 1) % aug3StageLen {
+	case 0: // A: commit pending notices, then initiate
+		for _, m := range inbox {
+			if _, ok := m.Payload.(matchNoticeMsg); ok && m.FromPort == an.initPort && !an.matched {
+				an.matched = true
+				an.matePort = an.initPort
+				api.Broadcast(matchedMsg{}, 1)
+			}
+		}
+		an.initPort, an.pendInit, an.offered, an.roleW = -1, -1, -1, false
+		if an.matched || iter >= an.iters {
+			return round > aug3TotalRounds(an.iters)-2
+		}
+		if api.Rand().IntN(2) == 0 { // initiator coin
+			var cands []int
+			for p, free := range an.freePorts {
+				if !free {
+					cands = append(cands, p)
+				}
+			}
+			if len(cands) > 0 {
+				an.initPort = cands[api.Rand().IntN(len(cands))]
+				api.Send(an.initPort, augInitMsg{initiator: api.ID()}, idBits(api.N()))
+			}
+		}
+	case 1: // B: matched vertices service one AugInit
+		if an.matched {
+			best, bestInit := -1, int32(-1)
+			for _, m := range inbox {
+				if am, ok := m.Payload.(augInitMsg); ok && (best < 0 || m.FromPort < best) {
+					best, bestInit = m.FromPort, am.initiator
+				}
+			}
+			if best >= 0 {
+				an.pendInit = best
+				an.roleW = true
+				api.Send(an.matePort, augFwdMsg{initiator: bestInit}, idBits(api.N()))
+			}
+		}
+	case 2: // C: the mate offers to a believed-free neighbor
+		if an.matched && !an.roleW {
+			for _, m := range inbox {
+				fm, ok := m.Payload.(augFwdMsg)
+				if !ok || m.FromPort != an.matePort {
+					continue
+				}
+				var cands []int
+				for p, free := range an.freePorts {
+					if free {
+						cands = append(cands, p)
+					}
+				}
+				if len(cands) > 0 {
+					an.offered = cands[api.Rand().IntN(len(cands))]
+					api.Send(an.offered, augOfferMsg{initiator: fm.initiator}, idBits(api.N()))
+				}
+				break
+			}
+		}
+	case 3: // D: free responders accept one offer and commit
+		if !an.matched && an.initPort < 0 {
+			best := -1
+			for _, m := range inbox {
+				om, ok := m.Payload.(augOfferMsg)
+				if !ok || om.initiator == api.ID() {
+					continue
+				}
+				if best < 0 || m.FromPort < best {
+					best = m.FromPort
+				}
+			}
+			if best >= 0 {
+				an.matched = true
+				an.matePort = best
+				api.Send(best, augAcceptMsg{}, 1)
+				api.Broadcast(matchedMsg{}, 1)
+			}
+		}
+	case 4: // E: x flips to y and confirms to its old mate
+		if an.offered >= 0 {
+			for _, m := range inbox {
+				if _, ok := m.Payload.(augAcceptMsg); ok && m.FromPort == an.offered {
+					old := an.matePort
+					an.matePort = an.offered
+					api.Send(old, flipConfirmMsg{}, 1)
+					break
+				}
+			}
+		}
+	case 5: // F: w flips to the initiator and notifies it
+		if an.roleW && an.pendInit >= 0 {
+			for _, m := range inbox {
+				if _, ok := m.Payload.(flipConfirmMsg); ok && m.FromPort == an.matePort {
+					an.matePort = an.pendInit
+					api.Send(an.pendInit, matchNoticeMsg{}, 1)
+					break
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RunAug3 improves a maximal matching by iters rounds of distributed
+// length-3 augmentation. It returns the improved matching and run stats.
+func RunAug3(g *graph.Static, m *matching.Matching, iters int, seed uint64) (*matching.Matching, Stats) {
+	nw := NewNetwork(g, func(v int32) Program {
+		node := &aug3Node{iters: iters}
+		node.matchState.matePort = -1
+		if mate := m.Mate(v); mate >= 0 {
+			node.matched = true
+			node.matePort = portOf(g, v, mate)
+		}
+		return node
+	}, seed)
+	// freePorts beliefs are initialized inside Step round 0 via the setup
+	// broadcast; preset the slices here.
+	for v := int32(0); v < int32(g.N()); v++ {
+		node := nw.Prog(v).(*aug3Node)
+		node.freePorts = make([]bool, g.Degree(v))
+		for i := range node.freePorts {
+			node.freePorts[i] = true
+		}
+	}
+	stats := nw.Run(aug3TotalRounds(iters) + 2)
+	return collectMatching(g, func(v int32) (bool, int) {
+		n := nw.Prog(v).(*aug3Node)
+		return n.matched, n.matePort
+	}), stats
+}

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Generalized distributed augmentation: starting from a maximal matching,
+// free vertices hunt for augmenting paths of length up to maxLen = 2k−1
+// (k−1 matched "relay" pairs) via token chains:
+//
+//	v ─tok→ w₁ ═mate═ x₁ ─tok→ w₂ ═mate═ x₂ ─ … ─offer→ y
+//
+// A free initiator v sends a Token along an edge to a matched vertex w₁,
+// which forwards it to its mate x₁; x₁ either terminates the chain with an
+// Offer to a believed-free neighbor y, or extends it with a Token to
+// another matched neighbor, up to the relay budget. When y accepts, a
+// commit wave travels back down the chain, flipping every relay pair:
+// y→x (ChainCommit), x→w (Confirm, x re-mates forward), w→previous
+// (ChainCommit, w re-mates backward), terminating at v.
+//
+// Safety: every matched vertex adopts at most one chain role per iteration
+// (first token wins, later ones are dropped), which also kills any chain
+// that revisits a vertex; free vertices are either initiators or responders
+// (coin flip), never both; all chain messages carry the iteration number
+// and stale ones are discarded. Hence each vertex's mate changes at most
+// once per iteration and every flip is a genuine augmenting-path flip.
+// Conflicting chains die silently and retry next iteration.
+//
+// Eliminating all augmenting paths of length ≤ 2k−1 yields a (1+1/k)-
+// approximation; the protocol is randomized, so the experiments report the
+// measured quality (T7).
+type augLNode struct {
+	matchState
+	iters     int
+	maxRelays int // matched pairs allowed per chain = (maxLen−1)/2
+
+	// per-iteration role state
+	role     augRole
+	initPort int // initiator: port the token left on
+	inPort   int // relay W: port the token arrived on
+	outPort  int // relay X: port the offer/extension left on
+}
+
+type augRole uint8
+
+const (
+	roleNone augRole = iota
+	roleInitiator
+	roleResponder
+	roleRelayW
+	roleRelayX
+)
+
+// Chain message payloads; every one carries the iteration it belongs to.
+type (
+	tokenMsg struct {
+		iter      int
+		initiator int32
+		relays    int // matched pairs consumed so far
+	}
+	offerLMsg struct {
+		iter      int
+		initiator int32
+	}
+	chainCommitMsg struct{ iter int }
+	confirmLMsg    struct{ iter int }
+)
+
+const augLSetupRounds = 1
+
+func augLIterRounds(maxRelays int) int { return 4*maxRelays + 6 }
+
+func augLTotalRounds(iters, maxRelays int) int {
+	return augLSetupRounds + iters*augLIterRounds(maxRelays) + 2
+}
+
+func (an *augLNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	if round == 0 {
+		if an.matched {
+			api.Broadcast(matchedMsg{}, 1)
+		}
+		an.role = roleNone
+		return false
+	}
+	an.applyBeliefs(inbox)
+	iterLen := augLIterRounds(an.maxRelays)
+	iter := (round - augLSetupRounds) / iterLen
+	offset := (round - augLSetupRounds) % iterLen
+
+	if offset == 0 {
+		// Iteration boundary: reset roles, then initiators launch tokens.
+		an.role = roleNone
+		an.initPort, an.inPort, an.outPort = -1, -1, -1
+		if !an.matched && iter < an.iters {
+			if api.Rand().IntN(2) == 0 {
+				var cands []int
+				for p, free := range an.freePorts {
+					if !free {
+						cands = append(cands, p)
+					}
+				}
+				if len(cands) > 0 {
+					an.role = roleInitiator
+					an.initPort = cands[api.Rand().IntN(len(cands))]
+					api.Send(an.initPort, tokenMsg{iter: iter, initiator: api.ID(), relays: 0}, idBits(api.N())+8)
+				}
+			} else {
+				an.role = roleResponder
+			}
+		}
+	}
+
+	for _, m := range inbox {
+		switch pl := m.Payload.(type) {
+		case tokenMsg:
+			if pl.iter != iter || !an.matched {
+				continue
+			}
+			if m.FromPort == an.matePort {
+				an.handleMateToken(api, iter, pl)
+			} else if an.role == roleNone {
+				// Relay W: service the first token of the iteration.
+				an.role = roleRelayW
+				an.inPort = m.FromPort
+				api.Send(an.matePort, tokenMsg{iter: iter, initiator: pl.initiator, relays: pl.relays + 1}, idBits(api.N())+8)
+			}
+		case offerLMsg:
+			if pl.iter != iter || an.matched || an.role != roleResponder || pl.initiator == api.ID() {
+				continue
+			}
+			// Responder accepts the first valid offer and commits.
+			an.role = roleNone // consume: at most one accept
+			an.matched = true
+			an.matePort = m.FromPort
+			api.Send(m.FromPort, chainCommitMsg{iter: iter}, 1)
+			api.Broadcast(matchedMsg{}, 1)
+		case chainCommitMsg:
+			if pl.iter != iter {
+				continue
+			}
+			switch {
+			case an.role == roleRelayX && m.FromPort == an.outPort:
+				// Flip forward: confirm to the old mate, re-mate to outPort.
+				old := an.matePort
+				an.matePort = an.outPort
+				an.role = roleNone
+				api.Send(old, confirmLMsg{iter: iter}, 1)
+			case an.role == roleInitiator && m.FromPort == an.initPort:
+				an.role = roleNone
+				an.matched = true
+				an.matePort = an.initPort
+				api.Broadcast(matchedMsg{}, 1)
+			}
+		case confirmLMsg:
+			if pl.iter != iter || an.role != roleRelayW || m.FromPort != an.matePort {
+				continue
+			}
+			// Flip backward: re-mate to the token's arrival edge and pass
+			// the commit wave on.
+			an.role = roleNone
+			an.matePort = an.inPort
+			api.Send(an.inPort, chainCommitMsg{iter: iter}, 1)
+		}
+	}
+	return round >= augLTotalRounds(an.iters, an.maxRelays)-1
+}
+
+// handleMateToken is the relay-X step: terminate with an offer to a
+// believed-free neighbor, or extend the chain to another matched neighbor.
+func (an *augLNode) handleMateToken(api *NodeAPI, iter int, pl tokenMsg) {
+	if an.role != roleNone {
+		return // busy (e.g. already relay W); chain dies here
+	}
+	var freeCands, matchedCands []int
+	for p, free := range an.freePorts {
+		if p == an.matePort {
+			continue
+		}
+		if free {
+			freeCands = append(freeCands, p)
+		} else {
+			matchedCands = append(matchedCands, p)
+		}
+	}
+	if len(freeCands) > 0 {
+		an.role = roleRelayX
+		an.outPort = freeCands[api.Rand().IntN(len(freeCands))]
+		api.Send(an.outPort, offerLMsg{iter: iter, initiator: pl.initiator}, idBits(api.N())+8)
+		return
+	}
+	if pl.relays < an.maxRelays && len(matchedCands) > 0 {
+		an.role = roleRelayX
+		an.outPort = matchedCands[api.Rand().IntN(len(matchedCands))]
+		api.Send(an.outPort, tokenMsg{iter: iter, initiator: pl.initiator, relays: pl.relays}, idBits(api.N())+8)
+	}
+}
+
+// RunAugL improves a maximal matching by iters iterations of distributed
+// augmentation along paths of length ≤ maxLen (odd, ≥ 3). It returns the
+// improved matching and run stats.
+func RunAugL(g *graph.Static, m *matching.Matching, maxLen, iters int, seed uint64) (*matching.Matching, Stats) {
+	if maxLen < 3 {
+		maxLen = 3
+	}
+	maxRelays := (maxLen - 1) / 2
+	nw := NewNetwork(g, func(v int32) Program {
+		node := &augLNode{iters: iters, maxRelays: maxRelays}
+		node.matePort = -1
+		if mate := m.Mate(v); mate >= 0 {
+			node.matched = true
+			node.matePort = portOf(g, v, mate)
+		}
+		node.freePorts = make([]bool, g.Degree(v))
+		for i := range node.freePorts {
+			node.freePorts[i] = true
+		}
+		return node
+	}, seed)
+	stats := nw.Run(augLTotalRounds(iters, maxRelays) + 2)
+	return collectMatching(g, func(v int32) (bool, int) {
+		n := nw.Prog(v).(*augLNode)
+		return n.matched, n.matePort
+	}), stats
+}

@@ -1,0 +1,49 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkRunSparsifier(b *testing.B) {
+	g := gen.BoundedDiversity(2000, 2, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSparsifier(g, 6, uint64(i))
+	}
+}
+
+func BenchmarkRunColoring(b *testing.B) {
+	g, _ := RunBoundedDegree(gen.UnitDisk(600, 0.08, 2), 6, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunColoring(g, uint64(i))
+	}
+}
+
+func BenchmarkRunRandMM(b *testing.B) {
+	g := gen.UnitDisk(800, 0.07, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunRandMM(g, uint64(i))
+	}
+}
+
+func BenchmarkFullPipeline(b *testing.B) {
+	inst := gen.UnitDiskInstance(600, 40, 4)
+	opt := PipelineOptions{Delta: 4, DeltaAlpha: 6, AugIters: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApproxMatchingPipeline(inst.G, inst.Beta, 0.5, opt, uint64(i))
+	}
+}
+
+func BenchmarkRunAugL(b *testing.B) {
+	g := gen.UnitDisk(500, 0.1, 5)
+	mm, _ := RunRandMM(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAugL(g, mm.Clone(), 5, 20, uint64(i))
+	}
+}

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestCongestBudgetEnforced: an oversized message must be rejected.
+func TestCongestBudgetEnforced(t *testing.T) {
+	g := gen.Path(2)
+	nw := NewNetwork(g, func(v int32) Program {
+		return programFunc(func(api *NodeAPI, round int, inbox []Msg) bool {
+			api.Send(0, "huge", 1024)
+			return true
+		})
+	}, 1)
+	nw.SetBitBudget(32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized message did not panic under CONGEST budget")
+		}
+	}()
+	nw.Run(2)
+}
+
+// TestPipelinePhasesAreCongest: every phase of the distributed pipeline
+// must fit CONGEST message sizes (O(log n) bits). We re-run each phase
+// under an explicit budget and expect no violations.
+func TestPipelinePhasesAreCongest(t *testing.T) {
+	inst := gen.UnitDiskInstance(300, 30, 3)
+	g := inst.G
+	budget := 2*idBits(g.N()) + 16
+
+	runUnder := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s violated CONGEST: %v", name, r)
+			}
+		}()
+		fn()
+	}
+
+	var gd, gt = g, g
+	runUnder("sparsify", func() {
+		nw := NewNetwork(g, func(v int32) Program { return &sparsifierNode{delta: 4} }, 5)
+		nw.SetBitBudget(budget)
+		nw.Run(4)
+	})
+	gd, _ = RunSparsifier(g, 4, 5)
+	runUnder("compose", func() {
+		nw := NewNetwork(gd, func(v int32) Program { return &boundedDegreeNode{deltaAlpha: 6} }, 7)
+		nw.SetBitBudget(budget)
+		nw.Run(4)
+	})
+	gt, _ = RunBoundedDegree(gd, 6, 7)
+	runUnder("coloring", func() {
+		tmpl := newColoringNode(gt.N(), gt.MaxDegree())
+		nw := NewNetwork(gt, func(v int32) Program { return newColoringNode(gt.N(), gt.MaxDegree()) }, 9)
+		nw.SetBitBudget(budget)
+		nw.Run(tmpl.totalRounds() + 2)
+	})
+	colors, _ := RunColoring(gt, 9)
+	runUnder("colorMM", func() {
+		maxDeg := gt.MaxDegree()
+		nw := NewNetwork(gt, func(v int32) Program {
+			return &colorMMNode{color: colors[v], palette: maxDeg + 1, maxDeg: maxDeg}
+		}, 11)
+		nw.SetBitBudget(budget)
+		nw.Run(colorMMTotalRounds(maxDeg+1, maxDeg) + 2)
+	})
+	mm, _ := RunColorMM(gt, colors, gt.MaxDegree()+1, 11)
+	runUnder("augL", func() {
+		maxRelays := 2
+		nw := NewNetwork(gt, func(v int32) Program {
+			node := &augLNode{iters: 10, maxRelays: maxRelays}
+			node.matePort = -1
+			if mate := mm.Mate(v); mate >= 0 {
+				node.matched = true
+				node.matePort = portOf(gt, v, mate)
+			}
+			node.freePorts = make([]bool, gt.Degree(v))
+			for i := range node.freePorts {
+				node.freePorts[i] = true
+			}
+			return node
+		}, 13)
+		nw.SetBitBudget(budget)
+		nw.Run(augLTotalRounds(10, maxRelays) + 2)
+	})
+}

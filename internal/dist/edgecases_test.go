@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+func TestLinialParamsSatisfyConstraints(t *testing.T) {
+	for _, tc := range []struct{ k, maxDeg int }{
+		{100, 3}, {1 << 16, 8}, {50, 1}, {7, 20},
+	} {
+		d, q := linialParams(tc.k, tc.maxDeg)
+		if q <= tc.maxDeg*d {
+			t.Errorf("k=%d D=%d: q=%d not above D·d=%d", tc.k, tc.maxDeg, q, tc.maxDeg*d)
+		}
+		pow := 1
+		ok := false
+		for i := 0; i <= d; i++ {
+			pow *= q
+			if pow >= tc.k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("k=%d D=%d: q^(d+1) cannot encode the palette", tc.k, tc.maxDeg)
+		}
+		if !isPrime(q) {
+			t.Errorf("q=%d not prime", q)
+		}
+	}
+}
+
+func TestLinialScheduleEmptyWhenAlreadySmall(t *testing.T) {
+	// Palette already at the fixed point: no steps.
+	if steps := linialSchedule(10, 8); len(steps) != 0 {
+		t.Errorf("tiny palette produced %d steps", len(steps))
+	}
+}
+
+func TestVerifyColoringNegative(t *testing.T) {
+	g := gen.Path(3)
+	if VerifyColoring(g, []int{0, 0, 1}, 2) {
+		t.Error("improper coloring accepted")
+	}
+	if VerifyColoring(g, []int{0, 5, 0}, 2) {
+		t.Error("out-of-palette coloring accepted")
+	}
+	if !VerifyColoring(g, []int{0, 1, 0}, 2) {
+		t.Error("proper 2-coloring rejected")
+	}
+}
+
+func TestRandMMRoundsMonotone(t *testing.T) {
+	if RandMMRounds(1) <= 0 {
+		t.Error("round budget for trivial network not positive")
+	}
+	if RandMMRounds(1000) > RandMMRounds(1_000_000) {
+		t.Error("round budget not monotone in n")
+	}
+}
+
+func TestPortOfPanicsOnNonNeighbor(t *testing.T) {
+	g := gen.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("portOf on non-neighbor did not panic")
+		}
+	}()
+	portOf(g, 0, 2)
+}
+
+func TestColoringOnEdgelessAndSingleton(t *testing.T) {
+	for _, g := range []*graph.Static{graph.Empty(5), graph.Empty(1)} {
+		colors, _ := RunColoring(g, 1)
+		if !VerifyColoring(g, colors, g.MaxDegree()+1) {
+			t.Errorf("edgeless coloring invalid: %v", colors)
+		}
+	}
+}
+
+func TestPipelineOnSparseGraphDegenerates(t *testing.T) {
+	// On a low-degree graph the sparsifier keeps everything and the
+	// pipeline still produces a valid near-maximal matching.
+	g := gen.Cycle(60)
+	m, ps := ApproxMatchingPipeline(g, 2, 0.5, PipelineOptions{Delta: 3, DeltaAlpha: 4, AugIters: 20}, 9)
+	if err := matching.Verify(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() < 20 { // MCM of C60 = 30; maximal ≥ 20
+		t.Errorf("cycle matching %d too small", m.Size())
+	}
+	if ps.Total.Rounds == 0 {
+		t.Error("stats missing")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rounds: 1, Messages: 2, Bits: 3}
+	a.Add(Stats{Rounds: 4, Messages: 5, Bits: 6})
+	if a != (Stats{Rounds: 5, Messages: 7, Bits: 9}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestCollectMatchingDetectsInconsistency(t *testing.T) {
+	g := gen.Path(3) // 0-1-2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inconsistent claims did not panic")
+		}
+	}()
+	collectMatching(g, func(v int32) (bool, int) {
+		// 0 claims 1; 1 claims 2; 2 claims 1 — asymmetric.
+		switch v {
+		case 0:
+			return true, 0
+		case 1:
+			return true, 1 // port 1 of vertex 1 is vertex 2
+		default:
+			return true, 0
+		}
+	})
+}

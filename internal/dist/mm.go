@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Message payloads for the matching protocols. All are accounted at 1 bit
+// except those carrying a vertex id (⌈log n⌉ bits).
+type (
+	proposeMsg     struct{}
+	acceptMsg      struct{}
+	matchedMsg     struct{} // "I am now matched" belief update
+	augInitMsg     struct{ initiator int32 }
+	augFwdMsg      struct{ initiator int32 }
+	augOfferMsg    struct{ initiator int32 }
+	augAcceptMsg   struct{}
+	flipConfirmMsg struct{}
+	matchNoticeMsg struct{}
+)
+
+// matchState is the node state shared by the matching protocols.
+type matchState struct {
+	matched   bool
+	matePort  int
+	announced bool
+	freePorts []bool // belief: is the neighbor on this port free?
+}
+
+func (ms *matchState) init(api *NodeAPI) {
+	ms.matePort = -1
+	ms.freePorts = make([]bool, api.Degree())
+	for i := range ms.freePorts {
+		ms.freePorts[i] = true
+	}
+}
+
+func (ms *matchState) applyBeliefs(inbox []Msg) {
+	for _, m := range inbox {
+		if _, ok := m.Payload.(matchedMsg); ok {
+			ms.freePorts[m.FromPort] = false
+		}
+	}
+}
+
+// announceIfNeeded broadcasts the matched status once.
+func (ms *matchState) announceIfNeeded(api *NodeAPI) {
+	if ms.matched && !ms.announced {
+		api.Broadcast(matchedMsg{}, 1)
+		ms.announced = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic color-ordered maximal matching.
+
+// colorMMNode computes a maximal matching deterministically given a proper
+// coloring: phases iterate over color classes; within a phase, free vertices
+// of the current color repeatedly propose to their lowest believed-free
+// port. Each sub-round is three rounds (propose / accept / announce).
+// A proposer (color c) and an acceptor are never both of color c (the
+// coloring is proper), so roles never conflict; every failed proposal
+// witnesses its target getting matched, so maxDeg+1 sub-rounds per phase
+// suffice and the final matching is maximal.
+type colorMMNode struct {
+	matchState
+	color    int
+	palette  int
+	maxDeg   int
+	proposed int // port proposed on in this sub-round, or -1
+}
+
+const colorMMStageLen = 3
+
+func colorMMTotalRounds(palette, maxDeg int) int {
+	return palette * (maxDeg + 1) * colorMMStageLen
+}
+
+func (cn *colorMMNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	if round == 0 {
+		cn.init(api)
+		cn.proposed = -1
+	}
+	total := colorMMTotalRounds(cn.palette, cn.maxDeg)
+	phase := round / (colorMMStageLen * (cn.maxDeg + 1))
+	switch round % colorMMStageLen {
+	case 0: // absorb announcements, then propose
+		cn.applyBeliefs(inbox)
+		cn.proposed = -1
+		if !cn.matched && cn.color == phase {
+			for p, free := range cn.freePorts {
+				if free {
+					cn.proposed = p
+					api.Send(p, proposeMsg{}, 1)
+					break
+				}
+			}
+		}
+	case 1: // accept the lowest-port proposal if still free
+		best := -1
+		for _, m := range inbox {
+			if _, ok := m.Payload.(proposeMsg); ok && (best < 0 || m.FromPort < best) {
+				best = m.FromPort
+			}
+		}
+		if best >= 0 && !cn.matched {
+			cn.matched = true
+			cn.matePort = best
+			api.Send(best, acceptMsg{}, 1)
+		}
+	case 2: // proposer commits on accept; both sides announce once
+		for _, m := range inbox {
+			if _, ok := m.Payload.(acceptMsg); ok && m.FromPort == cn.proposed {
+				cn.matched = true
+				cn.matePort = cn.proposed
+			}
+		}
+		cn.announceIfNeeded(api)
+	}
+	return round >= total
+}
+
+// RunColorMM computes a maximal matching of g given a proper coloring with
+// the stated palette size, in palette·(maxdeg+1)·3 rounds of 1-bit messages.
+func RunColorMM(g *graph.Static, colors []int, palette int, seed uint64) (*matching.Matching, Stats) {
+	maxDeg := g.MaxDegree()
+	nw := NewNetwork(g, func(v int32) Program {
+		return &colorMMNode{color: colors[v], palette: palette, maxDeg: maxDeg}
+	}, seed)
+	stats := nw.Run(colorMMTotalRounds(palette, maxDeg) + 2)
+	return collectMatching(g, func(v int32) (bool, int) {
+		n := nw.Prog(v).(*colorMMNode)
+		return n.matched, n.matePort
+	}), stats
+}
+
+// ---------------------------------------------------------------------------
+// Randomized maximal matching (Israeli–Itai style proposals).
+
+// randMMNode: in every 3-round iteration each free vertex flips a coin;
+// heads propose to a uniformly random believed-free port, tails accept one
+// incoming proposal. A constant fraction of the remaining free-free edges is
+// resolved per iteration in expectation, giving O(log n) iterations w.h.p.
+type randMMNode struct {
+	matchState
+	proposed int
+}
+
+func (rn *randMMNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	if round == 0 {
+		rn.init(api)
+		rn.proposed = -1
+	}
+	switch round % colorMMStageLen {
+	case 0:
+		rn.applyBeliefs(inbox)
+		rn.proposed = -1
+		if !rn.matched && api.Rand().IntN(2) == 0 {
+			var cands []int
+			for p, free := range rn.freePorts {
+				if free {
+					cands = append(cands, p)
+				}
+			}
+			if len(cands) > 0 {
+				rn.proposed = cands[api.Rand().IntN(len(cands))]
+				api.Send(rn.proposed, proposeMsg{}, 1)
+			}
+		}
+	case 1:
+		if !rn.matched && rn.proposed < 0 { // tails only
+			best := -1
+			for _, m := range inbox {
+				if _, ok := m.Payload.(proposeMsg); ok && (best < 0 || m.FromPort < best) {
+					best = m.FromPort
+				}
+			}
+			if best >= 0 {
+				rn.matched = true
+				rn.matePort = best
+				api.Send(best, acceptMsg{}, 1)
+			}
+		}
+	case 2:
+		for _, m := range inbox {
+			if _, ok := m.Payload.(acceptMsg); ok && m.FromPort == rn.proposed {
+				rn.matched = true
+				rn.matePort = rn.proposed
+			}
+		}
+		rn.announceIfNeeded(api)
+	}
+	return false
+}
+
+// RandMMRounds returns the round budget used by RunRandMM: Θ(log n)
+// iterations of 3 rounds.
+func RandMMRounds(n int) int {
+	if n < 2 {
+		return colorMMStageLen
+	}
+	iters := 8*int(math.Ceil(math.Log2(float64(n)))) + 16
+	return iters * colorMMStageLen
+}
+
+// RunRandMM computes a maximal matching (w.h.p.) with the randomized
+// proposal protocol, on any graph, in O(log n) rounds of 1-bit messages.
+func RunRandMM(g *graph.Static, seed uint64) (*matching.Matching, Stats) {
+	nw := NewNetwork(g, func(v int32) Program { return &randMMNode{} }, seed)
+	stats := nw.Run(RandMMRounds(g.N()))
+	return collectMatching(g, func(v int32) (bool, int) {
+		n := nw.Prog(v).(*randMMNode)
+		return n.matched, n.matePort
+	}), stats
+}
+
+// collectMatching assembles a Matching from per-node (matched, matePort)
+// claims, validating mutual consistency.
+func collectMatching(g *graph.Static, state func(v int32) (bool, int)) *matching.Matching {
+	m := matching.NewMatching(g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		ok, port := state(v)
+		if !ok {
+			continue
+		}
+		w := g.Neighbor(v, port)
+		if w <= v {
+			continue // count each pair once, from the smaller endpoint
+		}
+		okW, portW := state(w)
+		if !okW || g.Neighbor(w, portW) != v {
+			panic("dist: inconsistent matching state between endpoints")
+		}
+		m.Match(v, w)
+	}
+	// Verify the smaller-endpoint pass did not skip any asymmetric claim.
+	for v := int32(0); v < int32(g.N()); v++ {
+		if ok, port := state(v); ok && !m.IsMatched(v) {
+			w := g.Neighbor(v, port)
+			_ = w
+			panic("dist: matched node without a mutual partner")
+		}
+	}
+	return m
+}

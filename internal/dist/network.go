@@ -1,0 +1,245 @@
+// Package dist provides a synchronous message-passing network simulator in
+// the LOCAL/CONGEST style (Peleg 2000) and the distributed algorithms of
+// Section 3.2 built on it: the one-round construction of the random
+// sparsifier G_Δ, the one-round bounded-degree composition, Linial-style
+// O(log* n) coloring, color-ordered maximal matching, and augmentation
+// phases that together give the distributed approximate-matching pipeline
+// of Theorems 3.2 and 3.3 with exact round and message accounting.
+//
+// The simulator supports unicast transmission (a node sends a message along
+// a chosen incident edge, addressed by port number), which is the system
+// model Theorem 3.3's sublinear message complexity requires. Ports follow
+// the KT0 convention: a node initially knows only its own id and degree,
+// not its neighbors' ids.
+package dist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Msg is a message delivered to a node at the start of a round.
+type Msg struct {
+	// FromPort is the port at the RECEIVER on which the message arrived,
+	// i.e. the index of the sender in the receiver's adjacency array.
+	FromPort int
+	// Payload is the message content.
+	Payload any
+	// Bits is the accounted size of the message in bits.
+	Bits int
+}
+
+// NodeAPI is the interface a node program uses to interact with the network
+// during its Step. It is only valid for the duration of the Step call.
+type NodeAPI struct {
+	id      int32
+	g       *graph.Static
+	rng     *rand.Rand
+	outbox  []outMsg
+	network *Network
+}
+
+type outMsg struct {
+	from    int32
+	port    int
+	payload any
+	bits    int
+}
+
+// ID returns this node's unique identifier in [0, n).
+func (a *NodeAPI) ID() int32 { return a.id }
+
+// N returns the network size (assumed global knowledge, as usual in LOCAL).
+func (a *NodeAPI) N() int { return a.g.N() }
+
+// Degree returns the number of ports (incident edges) of this node.
+func (a *NodeAPI) Degree() int { return a.g.Degree(a.id) }
+
+// Rand returns this node's private random source.
+func (a *NodeAPI) Rand() *rand.Rand { return a.rng }
+
+// Send transmits a message along the given port (unicast); it is delivered
+// at the start of the next round. Under a CONGEST bit budget (see
+// SetBitBudget) a message exceeding the budget panics — algorithms written
+// for CONGEST must keep every message within O(log n) bits.
+func (a *NodeAPI) Send(port int, payload any, bits int) {
+	if port < 0 || port >= a.Degree() {
+		panic(fmt.Sprintf("dist: node %d sending on invalid port %d (degree %d)", a.id, port, a.Degree()))
+	}
+	if b := a.network.bitBudget; b > 0 && bits > b {
+		panic(fmt.Sprintf("dist: node %d message of %d bits exceeds the CONGEST budget %d", a.id, bits, b))
+	}
+	a.outbox = append(a.outbox, outMsg{from: a.id, port: port, payload: payload, bits: bits})
+}
+
+// Broadcast transmits the same message along every port. It is accounted as
+// Degree() separate messages (the broadcast-transmission cost model).
+func (a *NodeAPI) Broadcast(payload any, bits int) {
+	for p := 0; p < a.Degree(); p++ {
+		a.Send(p, payload, bits)
+	}
+}
+
+// Program is the per-node code of a distributed algorithm. One Program
+// instance exists per node. Step is called once per round with the messages
+// delivered this round; round 0 has an empty inbox. A node returns true
+// when it has halted; the simulation stops when every node has halted and
+// no messages are in flight.
+type Program interface {
+	Step(api *NodeAPI, round int, inbox []Msg) (done bool)
+}
+
+// Stats aggregates the cost of a simulation run.
+type Stats struct {
+	Rounds   int
+	Messages int64
+	Bits     int64
+}
+
+// Add accumulates s2 into s (for multi-phase pipelines).
+func (s *Stats) Add(s2 Stats) {
+	s.Rounds += s2.Rounds
+	s.Messages += s2.Messages
+	s.Bits += s2.Bits
+}
+
+// Network simulates a synchronous message-passing network over the topology
+// of g.
+type Network struct {
+	g         *graph.Static
+	progs     []Program
+	apis      []*NodeAPI
+	inboxes   [][]Msg
+	done      []bool
+	workers   int
+	bitBudget int // 0 = LOCAL (unbounded); > 0 = CONGEST message size cap
+}
+
+// SetBitBudget switches the network to the CONGEST model: any message
+// larger than bits panics. Call before Run. The conventional budget is
+// O(log n), e.g. 2·idBits(n)+16.
+func (nw *Network) SetBitBudget(bits int) { nw.bitBudget = bits }
+
+// NewNetwork builds a network over g where node v runs factory(v).
+// Each node gets an independent random stream derived from seed.
+func NewNetwork(g *graph.Static, factory func(v int32) Program, seed uint64) *Network {
+	n := g.N()
+	nw := &Network{
+		g:       g,
+		progs:   make([]Program, n),
+		apis:    make([]*NodeAPI, n),
+		inboxes: make([][]Msg, n),
+		done:    make([]bool, n),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for v := int32(0); v < int32(n); v++ {
+		nw.progs[v] = factory(v)
+		nw.apis[v] = &NodeAPI{
+			id:      v,
+			g:       g,
+			rng:     rand.New(rand.NewPCG(seed, uint64(v)+1)),
+			network: nw,
+		}
+	}
+	return nw
+}
+
+// Run executes rounds until every node halts or maxRounds is reached.
+// It returns the accumulated statistics.
+func (nw *Network) Run(maxRounds int) Stats {
+	var stats Stats
+	n := len(nw.progs)
+	nextInboxes := make([][]Msg, n)
+	for round := 0; round < maxRounds; round++ {
+		// Execute all node steps for this round in parallel shards.
+		allDone := true
+		inFlight := int64(0)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		shard := (n + nw.workers - 1) / nw.workers
+		if shard < 1 {
+			shard = 1
+		}
+		var panicked any
+		for lo := 0; lo < n; lo += shard {
+			hi := min(lo+shard, n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						panicked = r
+						mu.Unlock()
+					}
+				}()
+				localDone := true
+				var localMsgs int64
+				var localBits int64
+				for v := lo; v < hi; v++ {
+					api := nw.apis[v]
+					api.outbox = api.outbox[:0]
+					inbox := nw.inboxes[v]
+					nw.done[v] = nw.progs[v].Step(api, round, inbox)
+					nw.inboxes[v] = inbox[:0]
+					if !nw.done[v] {
+						localDone = false
+					}
+					localMsgs += int64(len(api.outbox))
+					for _, m := range api.outbox {
+						localBits += int64(m.bits)
+					}
+				}
+				mu.Lock()
+				allDone = allDone && localDone
+				inFlight += localMsgs
+				stats.Messages += localMsgs
+				stats.Bits += localBits
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked) // propagate node-program panics to the caller
+		}
+		stats.Rounds++
+		// Deliver: route each outbox message to the receiver's next inbox.
+		for v := 0; v < n; v++ {
+			for _, m := range nw.apis[v].outbox {
+				to := nw.g.Neighbor(m.from, m.port)
+				fromPort := portOf(nw.g, to, m.from)
+				nextInboxes[to] = append(nextInboxes[to], Msg{FromPort: fromPort, Payload: m.payload, Bits: m.bits})
+			}
+		}
+		nw.inboxes, nextInboxes = nextInboxes, nw.inboxes
+		if allDone && inFlight == 0 {
+			break
+		}
+	}
+	return stats
+}
+
+// Program accessor for result extraction after a run.
+func (nw *Network) Prog(v int32) Program { return nw.progs[v] }
+
+// portOf returns the index of neighbor u in v's sorted adjacency array.
+func portOf(g *graph.Static, v, u int32) int {
+	nb := g.Neighbors(v)
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(nb) || nb[lo] != u {
+		panic(fmt.Sprintf("dist: %d is not a neighbor of %d", u, v))
+	}
+	return lo
+}

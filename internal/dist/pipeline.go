@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// PhaseStats breaks down the cost of the distributed pipeline per phase.
+type PhaseStats struct {
+	Sparsify Stats // 1-round G_Δ construction (Theorem 3.3's message bound)
+	Compose  Stats // 1-round bounded-degree composition
+	Coloring Stats // Linial log* phase + palette walk-down
+	MM       Stats // color-ordered maximal matching
+	Aug      Stats // length-3 augmentation stage
+	Total    Stats
+}
+
+// PipelineOptions tunes the distributed approximate-matching pipeline.
+type PipelineOptions struct {
+	// Delta is the per-vertex mark count of G_Δ; zero means
+	// core.DeltaLean(beta, eps).
+	Delta int
+	// DeltaAlpha is the degree bound of the composition; zero means
+	// core.DeltaAlphaFor(2·Delta, eps).
+	DeltaAlpha int
+	// AugIters is the number of augmentation iterations;
+	// zero means 8·DeltaAlpha.
+	AugIters int
+	// AugLen is the augmenting-path length bound of the final stage;
+	// zero means 2⌈1/ε⌉−1 (capped at 9 to keep iteration windows short).
+	AugLen int
+}
+
+// ApproxMatchingPipeline runs the full distributed pipeline of Section 3.2
+// on a graph with neighborhood independence β:
+//
+//  1. one round: random sparsifier G_Δ (arboricity ≤ 2Δ);
+//  2. one round: Solomon bounded-degree sparsifier on top (max degree Δα);
+//  3. Linial coloring of the composed sparsifier: O(log* n) + O(Δα²) rounds;
+//  4. color-ordered maximal matching: O(Δα²) rounds;
+//  5. length-3 augmentation stage.
+//
+// Every phase after the first two runs on the bounded-degree sparsifier, so
+// the total message count is bounded by rounds × |E(G̃_Δ)| = rounds × O(nΔα)
+// — sublinear in m for dense graphs (Theorem 3.3).
+func ApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt PipelineOptions, seed uint64) (*matching.Matching, PhaseStats) {
+	if opt.Delta == 0 {
+		opt.Delta = core.DeltaLean(beta, eps)
+	}
+	if opt.DeltaAlpha == 0 {
+		opt.DeltaAlpha = core.DeltaAlphaFor(2*opt.Delta, eps)
+	}
+	if opt.AugIters == 0 {
+		opt.AugIters = 8 * opt.DeltaAlpha
+	}
+	if opt.AugLen == 0 {
+		k := int(math.Ceil(1 / eps))
+		opt.AugLen = min(2*k-1, 9)
+	}
+	var ps PhaseStats
+	gd, s1 := RunSparsifier(g, opt.Delta, seed)
+	ps.Sparsify = s1
+	gt, s2 := RunBoundedDegree(gd, opt.DeltaAlpha, seed+1)
+	ps.Compose = s2
+	colors, s3 := RunColoring(gt, seed+2)
+	ps.Coloring = s3
+	palette := gt.MaxDegree() + 1
+	mm, s4 := RunColorMM(gt, colors, palette, seed+3)
+	ps.MM = s4
+	improved, s5 := RunAugL(gt, mm, opt.AugLen, opt.AugIters, seed+4)
+	ps.Aug = s5
+	for _, s := range []Stats{s1, s2, s3, s4, s5} {
+		ps.Total.Add(s)
+	}
+	return improved, ps
+}
+
+// DirectMM runs the randomized maximal matching directly on g — the
+// baseline whose message complexity is Ω(m)·rounds, against which the
+// pipeline's sublinear message count is compared in experiment T8.
+func DirectMM(g *graph.Static, seed uint64) (*matching.Matching, Stats) {
+	return RunRandMM(g, seed)
+}

@@ -1,0 +1,91 @@
+package dynmatch
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Updater is the common interface of the dynamic matchers, used by the
+// adversary drivers.
+type Updater interface {
+	Insert(u, v int32) bool
+	Delete(u, v int32) bool
+	Matching() *matching.Matching
+	Graph() *graph.Dynamic
+}
+
+// Update is one step of an update sequence.
+type Update struct {
+	Insert bool
+	U, V   int32
+}
+
+// Apply replays an update on an Updater.
+func (u Update) Apply(m Updater) {
+	if u.Insert {
+		m.Insert(u.U, u.V)
+	} else {
+		m.Delete(u.U, u.V)
+	}
+}
+
+// BuildUpdates returns the insertion sequence loading all edges of g in a
+// deterministic shuffled order.
+func BuildUpdates(g *graph.Static, seed uint64) []Update {
+	edges := g.Edges()
+	rng := rand.New(rand.NewPCG(seed, 0xadd))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	ups := make([]Update, len(edges))
+	for i, e := range edges {
+		ups[i] = Update{Insert: true, U: e.U, V: e.V}
+	}
+	return ups
+}
+
+// ObliviousChurn generates steps cycles of delete-then-reinsert of random
+// edges of g, fixed in advance (independent of the algorithm's behaviour —
+// the oblivious-adversary model).
+func ObliviousChurn(g *graph.Static, steps int, seed uint64) []Update {
+	edges := g.Edges()
+	rng := rand.New(rand.NewPCG(seed, 0x0b11))
+	ups := make([]Update, 0, 2*steps)
+	for i := 0; i < steps; i++ {
+		e := edges[rng.IntN(len(edges))]
+		ups = append(ups, Update{Insert: false, U: e.U, V: e.V}, Update{Insert: true, U: e.U, V: e.V})
+	}
+	return ups
+}
+
+// AdaptiveAdversary attacks an Updater online: at every step it looks at
+// the CURRENT output matching and deletes one of its edges (re-inserting it
+// afterwards to preserve density). This is exactly the adaptive model of
+// Theorem 3.5 — the adversary's choices depend on the algorithm's output.
+// It runs steps delete+reinsert pairs and returns the minimum approximation
+// quality |M|/|MCM| observed at each checkpoint (every checkEvery steps,
+// using the exact blossom algorithm on a snapshot).
+func AdaptiveAdversary(m Updater, steps, checkEvery int, seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 0xada))
+	worst := 1.0
+	for i := 0; i < steps; i++ {
+		edges := m.Matching().Edges()
+		if len(edges) == 0 {
+			break
+		}
+		e := edges[rng.IntN(len(edges))]
+		m.Delete(e.U, e.V)
+		m.Insert(e.U, e.V)
+		if checkEvery > 0 && (i+1)%checkEvery == 0 {
+			snap := m.Graph().Snapshot()
+			opt := matching.MaximumGeneral(snap).Size()
+			if opt > 0 {
+				q := float64(m.Matching().Size()) / float64(opt)
+				if q < worst {
+					worst = q
+				}
+			}
+		}
+	}
+	return worst
+}

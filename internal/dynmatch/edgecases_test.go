@@ -1,0 +1,154 @@
+package dynmatch
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Compile-time interface compliance of all three dynamic matchers.
+var (
+	_ Updater = (*Maintainer)(nil)
+	_ Updater = (*ObliviousMaintainer)(nil)
+	_ Updater = (*RepairBaseline)(nil)
+)
+
+func TestOptionsOverrides(t *testing.T) {
+	mt := New(10, Options{Beta: 2, Eps: 0.3, Delta: 7, Sweeps: 2, MinBudget: 99}, 1)
+	if mt.delta != 7 {
+		t.Errorf("Delta override ignored: %d", mt.delta)
+	}
+	if mt.Budget() != 99 {
+		t.Errorf("MinBudget not the initial budget: %d", mt.Budget())
+	}
+	if mt.opt.Sweeps != 2 {
+		t.Errorf("Sweeps override ignored: %d", mt.opt.Sweeps)
+	}
+}
+
+func TestMaxLenFromEps(t *testing.T) {
+	mt := New(4, Options{Beta: 1, Eps: 0.5}, 1)
+	if mt.maxLen != 3 {
+		t.Errorf("maxLen for ε=0.5 = %d, want 3", mt.maxLen)
+	}
+	mt2 := New(4, Options{Beta: 1, Eps: 0.2}, 1)
+	if mt2.maxLen != 9 {
+		t.Errorf("maxLen for ε=0.2 = %d, want 9", mt2.maxLen)
+	}
+}
+
+func TestBuildUpdatesDeterministicAndComplete(t *testing.T) {
+	g := gen.Clique(12)
+	a := BuildUpdates(g, 5)
+	b := BuildUpdates(g, 5)
+	if len(a) != g.M() || len(b) != len(a) {
+		t.Fatalf("lengths: %d %d, want %d", len(a), len(b), g.M())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+		if !a[i].Insert {
+			t.Fatal("load sequence contains deletions")
+		}
+	}
+	c := BuildUpdates(g, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical orders")
+	}
+}
+
+func TestAdaptiveAdversaryOnEmptyMatching(t *testing.T) {
+	mt := New(6, Options{Beta: 1, Eps: 0.4}, 1)
+	// No edges at all: the adversary must exit immediately with quality 1.
+	if q := AdaptiveAdversary(mt, 50, 10, 3); q != 1.0 {
+		t.Errorf("adversary on empty graph returned %v", q)
+	}
+}
+
+func TestRecomputeBudgetRecalibrates(t *testing.T) {
+	inst := gen.BoundedDiversityInstance(200, 2, 48, 3)
+	mt := New(inst.G.N(), Options{Beta: 2, Eps: 0.3}, 5)
+	initial := mt.Budget()
+	for _, up := range BuildUpdates(inst.G, 1) {
+		up.Apply(mt)
+	}
+	if mt.Metrics().Recomputes == 0 {
+		t.Fatal("no recompute during load")
+	}
+	if mt.Budget() == initial {
+		t.Error("budget never recalibrated from the measured run cost")
+	}
+}
+
+func TestWrapHandoverKeepsSizesConsistent(t *testing.T) {
+	// After many swaps the output matching's Size() must equal its actual
+	// pair count (incremental bookkeeping in staticRun).
+	inst := gen.BoundedDiversityInstance(150, 2, 32, 9)
+	mt := New(inst.G.N(), Options{Beta: 2, Eps: 0.3}, 7)
+	for _, up := range BuildUpdates(inst.G, 2) {
+		up.Apply(mt)
+	}
+	for _, up := range ObliviousChurn(inst.G, 500, 3) {
+		up.Apply(mt)
+	}
+	m := mt.Matching()
+	count := 0
+	for v := int32(0); v < int32(m.N()); v++ {
+		if m.Mate(v) > v {
+			count++
+		}
+	}
+	if count != m.Size() {
+		t.Errorf("size bookkeeping drifted: counted %d, Size() %d", count, m.Size())
+	}
+}
+
+func BenchmarkMaintainerUpdate(b *testing.B) {
+	inst := gen.BoundedDiversityInstance(600, 2, 96, 4)
+	mt := New(inst.G.N(), Options{Beta: 2, Eps: 0.3}, 11)
+	for _, up := range BuildUpdates(inst.G, 1) {
+		up.Apply(mt)
+	}
+	churn := ObliviousChurn(inst.G, 1<<18, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn[i%len(churn)].Apply(mt)
+	}
+}
+
+func BenchmarkObliviousUpdate(b *testing.B) {
+	inst := gen.BoundedDiversityInstance(600, 2, 96, 4)
+	mt := NewOblivious(inst.G.N(), Options{Beta: 2, Eps: 0.3}, 11)
+	for _, up := range BuildUpdates(inst.G, 1) {
+		up.Apply(mt)
+	}
+	churn := ObliviousChurn(inst.G, 1<<18, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn[i%len(churn)].Apply(mt)
+	}
+}
+
+func TestAccessorCoverage(t *testing.T) {
+	mt := New(5, Options{Beta: 1, Eps: 0.4}, 1)
+	if mt.N() != 5 {
+		t.Errorf("N = %d", mt.N())
+	}
+	rb := NewRepairBaseline(5)
+	rb.Insert(0, 1)
+	if rb.Size() != 1 {
+		t.Errorf("baseline Size = %d", rb.Size())
+	}
+	ob := NewOblivious(5, Options{Beta: 1, Eps: 0.4}, 1)
+	if ob.Budget() <= 0 {
+		t.Errorf("oblivious Budget = %d", ob.Budget())
+	}
+}

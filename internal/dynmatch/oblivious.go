@@ -1,0 +1,201 @@
+package dynmatch
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// ObliviousMaintainer implements the simpler dynamic scheme the paper
+// sketches for the OBLIVIOUS-adversary model (Section 3.3): the sparsifier
+// G_Δ itself is maintained under updates — following every update touching
+// u and v, the marks made "due to" u and due to v are discarded and
+// replaced by Δ fresh random incident edges, at O(Δ) worst-case cost — and
+// the matching is maintained by Gupta–Peng windowed recomputation running
+// directly on the maintained sparsifier.
+//
+// Against an oblivious adversary this is correct (the proof of Theorem 2.1
+// applies verbatim, since update positions are independent of the marks).
+// Against an ADAPTIVE adversary the proof breaks: the output matching
+// reveals marked edges, and deleting exactly those forces correlated
+// remarking. The experiments use this type as the ablation contrasting with
+// Maintainer, whose fresh-randomness-per-window design is adaptive-safe.
+type ObliviousMaintainer struct {
+	g       *graph.Dynamic
+	sp      *graph.Dynamic      // the maintained sparsifier (union of marks)
+	marks   [][]int32           // marks[v] = neighbors marked due to v
+	count   map[graph.Edge]int8 // how many endpoints marked each edge (1 or 2)
+	opt     Options
+	delta   int
+	maxLen  int
+	budget  int64
+	out     *matching.Matching
+	run     *staticRun
+	bufs    *runBuffers
+	rng     *rand.Rand
+	metrics Metrics
+}
+
+// NewOblivious creates an ObliviousMaintainer over an empty graph.
+func NewOblivious(n int, opt Options, seed uint64) *ObliviousMaintainer {
+	if opt.Sweeps == 0 {
+		opt.Sweeps = 3
+	}
+	delta := opt.Delta
+	if delta == 0 {
+		delta = int(math.Ceil(float64(opt.Beta) / opt.Eps * math.Log(24/opt.Eps)))
+	}
+	maxLen := 2*int(math.Ceil(1/opt.Eps)) - 1
+	if opt.MinBudget == 0 {
+		opt.MinBudget = int64(math.Ceil(4 * float64(delta) / (opt.Eps * opt.Eps)))
+	}
+	m := &ObliviousMaintainer{
+		g:      graph.NewDynamic(n),
+		sp:     graph.NewDynamic(n),
+		marks:  make([][]int32, n),
+		count:  make(map[graph.Edge]int8),
+		opt:    opt,
+		delta:  delta,
+		maxLen: maxLen,
+		budget: opt.MinBudget,
+		out:    matching.NewMatching(n),
+		rng:    rand.New(rand.NewPCG(seed, 0x0b11f)),
+	}
+	// The recompute run reads the maintained sparsifier; its own sampling
+	// stage degenerates to "take everything" because sparsifier degrees are
+	// already O(Δ).
+	m.bufs = newRunBuffers(n, delta)
+	m.run = newStaticRunBuf(m.sp, delta, maxLen, opt.Sweeps, m.rng, m.bufs)
+	return m
+}
+
+// Matching returns the maintained matching (live; do not mutate).
+func (mt *ObliviousMaintainer) Matching() *matching.Matching { return mt.out }
+
+// Size returns the matching size.
+func (mt *ObliviousMaintainer) Size() int { return mt.out.Size() }
+
+// Graph exposes the dynamic graph.
+func (mt *ObliviousMaintainer) Graph() *graph.Dynamic { return mt.g }
+
+// SparsifierEdges returns the current sparsifier size.
+func (mt *ObliviousMaintainer) SparsifierEdges() int { return mt.sp.M() }
+
+// Metrics returns accumulated cost counters.
+func (mt *ObliviousMaintainer) Metrics() Metrics { return mt.metrics }
+
+// Budget returns the current per-update recompute budget.
+func (mt *ObliviousMaintainer) Budget() int64 { return mt.budget }
+
+// Insert adds {u, v} and re-marks both endpoints.
+func (mt *ObliviousMaintainer) Insert(u, v int32) bool {
+	added := mt.g.Insert(u, v)
+	if added {
+		mt.remark(u)
+		mt.remark(v)
+	}
+	mt.advance()
+	return added
+}
+
+// Delete removes {u, v}, evicts it from the matching and the sparsifier,
+// and re-marks both endpoints.
+func (mt *ObliviousMaintainer) Delete(u, v int32) bool {
+	existed := mt.g.Delete(u, v)
+	if existed {
+		mt.out.RemoveEdge(u, v)
+		mt.out.RemoveEdge(v, u)
+		mt.run.removeEdge(u, v)
+		mt.remark(u)
+		mt.remark(v)
+	}
+	mt.advance()
+	return existed
+}
+
+// remark discards v's marks and draws Δ fresh random incident edges
+// (all of them if deg(v) ≤ 2Δ) — the O(Δ) sparsifier repair step.
+func (mt *ObliviousMaintainer) remark(v int32) {
+	for _, w := range mt.marks[v] {
+		e := graph.Edge{U: v, V: w}.Canonical()
+		if c := mt.count[e]; c <= 1 {
+			delete(mt.count, e)
+			if mt.sp.Delete(e.U, e.V) {
+				// The edge left the sparsifier entirely; it can no longer
+				// support the in-progress matching.
+				mt.run.removeEdge(e.U, e.V)
+			}
+		} else {
+			mt.count[e] = c - 1
+		}
+	}
+	mt.marks[v] = mt.marks[v][:0]
+	d := mt.g.Degree(v)
+	if d == 0 {
+		return
+	}
+	addMark := func(w int32) {
+		e := graph.Edge{U: v, V: w}.Canonical()
+		mt.count[e]++
+		mt.sp.Insert(e.U, e.V)
+		mt.marks[v] = append(mt.marks[v], w)
+	}
+	if d <= 2*mt.delta {
+		for _, w := range mt.g.Neighbors(v) {
+			addMark(w)
+		}
+		return
+	}
+	seen := make(map[int]bool, mt.delta)
+	for len(seen) < mt.delta {
+		i := mt.rng.IntN(d)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		addMark(mt.g.Neighbor(v, i))
+	}
+}
+
+// advance mirrors Maintainer.advance over the maintained sparsifier.
+func (mt *ObliviousMaintainer) advance() {
+	mt.metrics.Updates++
+	budget := mt.budget
+	before := mt.run.units
+	done := mt.run.step(budget)
+	spent := mt.run.units - before + 2*int64(mt.delta) // charge the remark
+	if done {
+		mates, size := mt.run.result()
+		mt.out = matching.WrapMates(mates, size)
+		mt.metrics.Recomputes++
+		w := 1 + int64(mt.opt.Eps*float64(size)/4)
+		b := 2*mt.run.units/w + 1
+		if b < mt.opt.MinBudget {
+			b = mt.opt.MinBudget
+		}
+		mt.budget = b
+		mt.run.releaseInto(mt.bufs)
+		mt.run = newStaticRunBuf(mt.sp, mt.delta, mt.maxLen, mt.opt.Sweeps, mt.rng, mt.bufs)
+		spent++
+	}
+	mt.metrics.UnitsTotal += spent
+	if spent > mt.metrics.MaxUnitsUpdate {
+		mt.metrics.MaxUnitsUpdate = spent
+	}
+	if over := spent - budget; over > mt.metrics.MaxOverrun {
+		mt.metrics.MaxOverrun = over
+	}
+}
+
+// ForceRecompute drives the in-progress recomputation to completion.
+func (mt *ObliviousMaintainer) ForceRecompute() {
+	for !mt.run.step(1 << 20) {
+	}
+	mates, size := mt.run.result()
+	mt.out = matching.WrapMates(mates, size)
+	mt.metrics.Recomputes++
+	mt.run.releaseInto(mt.bufs)
+	mt.run = newStaticRunBuf(mt.sp, mt.delta, mt.maxLen, mt.opt.Sweeps, mt.rng, mt.bufs)
+}

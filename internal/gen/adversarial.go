@@ -1,0 +1,51 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CliqueMinusEdge returns K_n with the single edge {u, v} removed — the
+// family 𝒢_n from the proof of Lemma 2.13 (deterministic sparsifiers fail).
+// β of these graphs is 2, and they contain a perfect matching for even n.
+func CliqueMinusEdge(n int, u, v int32) *graph.Static {
+	if u == v || u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+		panic(fmt.Sprintf("gen: bad non-edge (%d,%d) for n=%d", u, v, n))
+	}
+	skip := graph.Edge{U: u, V: v}.Canonical()
+	b := graph.NewBuilder(n)
+	for a := int32(0); a < int32(n); a++ {
+		for c := a + 1; c < int32(n); c++ {
+			if (graph.Edge{U: a, V: c}) == skip {
+				continue
+			}
+			b.AddEdge(a, c)
+		}
+	}
+	return b.Build()
+}
+
+// TwoCliquesBridge returns the Observation 2.14 instance: two disjoint
+// cliques on half vertices each, where half is odd, joined by the single
+// bridge edge (0, half). Any maximum matching must use the bridge, so a
+// sparsifier that misses it loses exactly one unit of matching size.
+//
+// half must be odd (so each clique alone has a near-perfect matching leaving
+// one vertex exposed). It returns the graph and the bridge edge.
+func TwoCliquesBridge(half int) (*graph.Static, graph.Edge) {
+	if half < 3 || half%2 == 0 {
+		panic(fmt.Sprintf("gen: TwoCliquesBridge needs odd half >= 3, got %d", half))
+	}
+	n := 2 * half
+	b := graph.NewBuilder(n)
+	for a := int32(0); a < int32(half); a++ {
+		for c := a + 1; c < int32(half); c++ {
+			b.AddEdge(a, c)
+			b.AddEdge(a+int32(half), c+int32(half))
+		}
+	}
+	bridge := graph.Edge{U: 0, V: int32(half)}
+	b.AddEdge(bridge.U, bridge.V)
+	return b.Build(), bridge
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BoundedDiversity returns a graph on n vertices built as a union of cliques
+// in which every vertex belongs to at most k cliques. The diversity of such
+// a graph is at most k, hence its neighborhood independence number is at
+// most k (each maximal clique containing v contributes at most one vertex to
+// an independent set in N(v)).
+//
+// numCliques cliques of size cliqueSize are formed by assigning each vertex
+// to k cliques chosen uniformly at random (clique sizes therefore
+// concentrate around n·k/numCliques; cliqueSize fixes numCliques as
+// n·k/cliqueSize). Vertex degrees are roughly k·cliqueSize, so the family is
+// dense for large cliqueSize while β stays at most k — exactly the
+// "possibly dense graphs with small β" regime the paper targets.
+func BoundedDiversity(n, k, cliqueSize int, seed uint64) *graph.Static {
+	if k < 1 || cliqueSize < 2 {
+		panic(fmt.Sprintf("gen: BoundedDiversity needs k >= 1, cliqueSize >= 2 (got %d, %d)", k, cliqueSize))
+	}
+	r := rng(seed)
+	numCliques := n * k / cliqueSize
+	if numCliques < 1 {
+		numCliques = 1
+	}
+	members := make([][]int32, numCliques)
+	for v := int32(0); v < int32(n); v++ {
+		// k distinct cliques for v (k is small; rejection sampling is fine).
+		chosen := make(map[int]bool, k)
+		for len(chosen) < k && len(chosen) < numCliques {
+			chosen[r.IntN(numCliques)] = true
+		}
+		for c := range chosen {
+			members[c] = append(members[c], v)
+		}
+	}
+	b := graph.NewBuilder(n)
+	for _, mem := range members {
+		for i := 0; i < len(mem); i++ {
+			for j := i + 1; j < len(mem); j++ {
+				b.AddEdge(mem[i], mem[j])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BoundedDiversityInstance returns a bounded-diversity instance with
+// certified β ≤ k and average degree roughly avgDeg.
+func BoundedDiversityInstance(n, k int, avgDeg float64, seed uint64) Instance {
+	cliqueSize := int(avgDeg) / k
+	if cliqueSize < 2 {
+		cliqueSize = 2
+	}
+	return Instance{
+		Name: fmt.Sprintf("diversity%d", k),
+		G:    BoundedDiversity(n, k, cliqueSize, seed),
+		Beta: k,
+	}
+}
+
+// CliqueInstance returns K_n with its certified β = 1.
+func CliqueInstance(n int) Instance {
+	return Instance{Name: "clique", G: Clique(n), Beta: 1}
+}
+
+// Maker generates an instance of a family with roughly n vertices.
+type Maker func(n int, seed uint64) Instance
+
+// Families returns the named catalog of bounded-β families used throughout
+// the experiments, each parameterized only by size and seed. Densities are
+// chosen so the graphs are dense relative to nΔ (the sublinear regime).
+func Families() map[string]Maker {
+	return map[string]Maker{
+		"line": func(n int, seed uint64) Instance {
+			return LineGraphInstance(n, 64, seed)
+		},
+		"unitdisk": func(n int, seed uint64) Instance {
+			return UnitDiskInstance(n, 64, seed)
+		},
+		"interval": func(n int, seed uint64) Instance {
+			return ProperIntervalInstance(n, 64, seed)
+		},
+		"diversity4": func(n int, seed uint64) Instance {
+			return BoundedDiversityInstance(n, 4, 64, seed)
+		},
+		"clique": func(n int, seed uint64) Instance {
+			return CliqueInstance(n)
+		},
+	}
+}
+
+// FamilyNames returns the catalog keys in a fixed presentation order.
+func FamilyNames() []string {
+	return []string{"line", "unitdisk", "interval", "diversity4", "clique"}
+}

@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// UnitDisk returns the unit-disk graph of n points placed uniformly at
+// random in the unit square, with an edge between points at Euclidean
+// distance at most radius.
+//
+// Unit-disk graphs have neighborhood independence number at most 5: points
+// within distance r of a center that are pairwise more than r apart subtend
+// pairwise angles > 60° at the center, so at most 5 fit (a 6th would force
+// two within 60°, hence within distance r of each other).
+//
+// Construction uses a uniform grid with cell side = radius, so the cost is
+// O(n + output).
+func UnitDisk(n int, radius float64, seed uint64) *graph.Static {
+	g, _ := UnitDiskPoints(n, radius, seed)
+	return g
+}
+
+// Point is a 2-D point in the unit square.
+type Point struct{ X, Y float64 }
+
+// UnitDiskPoints is UnitDisk but also returns the point placements, for
+// scenario examples (e.g. wireless link scheduling).
+func UnitDiskPoints(n int, radius float64, seed uint64) (*graph.Static, []Point) {
+	r := rng(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	b := graph.NewBuilder(n)
+	if radius <= 0 {
+		return b.Build(), pts
+	}
+	cells := int(1/radius) + 1
+	grid := make(map[[2]int][]int32)
+	cellOf := func(p Point) [2]int {
+		cx := int(p.X / radius)
+		cy := int(p.Y / radius)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i, p := range pts {
+		grid[cellOf(p)] = append(grid[cellOf(p)], int32(i))
+	}
+	r2 := radius * radius
+	for i, p := range pts {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= int32(i) {
+						continue
+					}
+					q := pts[j]
+					ddx, ddy := p.X-q.X, p.Y-q.Y
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(int32(i), j)
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), pts
+}
+
+// UnitDiskInstance returns a unit-disk instance sized so the expected degree
+// is roughly avgDeg, with the certified bound β ≤ 5.
+func UnitDiskInstance(n int, avgDeg float64, seed uint64) Instance {
+	// Expected degree ≈ n·π·r² (ignoring boundary), so r = sqrt(avgDeg/(nπ)).
+	radius := math.Sqrt(avgDeg / (float64(n) * math.Pi))
+	return Instance{Name: "unitdisk", G: UnitDisk(n, radius, seed), Beta: 5}
+}
+
+// ProperInterval returns the intersection graph of n unit-length intervals
+// with start points drawn uniformly from [0, spread]. Proper interval graphs
+// (no interval contains another) have neighborhood independence number at
+// most 2: the neighbors of an interval I all contain I's left or right
+// endpoint region, forming two cliques, and one independent vertex can be
+// picked from a clique.
+func ProperInterval(n int, spread float64, seed uint64) *graph.Static {
+	r := rng(seed)
+	starts := make([]float64, n)
+	for i := range starts {
+		starts[i] = r.Float64() * spread
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return starts[order[a]] < starts[order[b]] })
+	b := graph.NewBuilder(n)
+	// Unit intervals [s, s+1] intersect iff |s_i - s_j| <= 1.
+	for i := 0; i < n; i++ {
+		vi := order[i]
+		for j := i + 1; j < n; j++ {
+			vj := order[j]
+			if starts[vj]-starts[vi] > 1 {
+				break
+			}
+			b.AddEdge(vi, vj)
+		}
+	}
+	return b.Build()
+}
+
+// ProperIntervalInstance returns a proper-interval instance with expected
+// degree roughly avgDeg, certified β ≤ 2.
+func ProperIntervalInstance(n int, avgDeg float64, seed uint64) Instance {
+	// Expected neighbors of an interval ≈ 2n/spread, so spread = 2n/avgDeg.
+	spread := 2 * float64(n) / avgDeg
+	if spread < 1 {
+		spread = 1
+	}
+	return Instance{Name: "interval", G: ProperInterval(n, spread, seed), Beta: 2}
+}

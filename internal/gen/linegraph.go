@@ -1,0 +1,55 @@
+package gen
+
+import "repro/internal/graph"
+
+// LineGraph returns the line graph L(g): one vertex per edge of g, with two
+// vertices adjacent iff the corresponding edges of g share an endpoint.
+//
+// Line graphs have neighborhood independence number at most 2: the edges of
+// g incident on an edge e = (u, v) split into those sharing u and those
+// sharing v, each group forming a clique in L(g), so an independent set in
+// the neighborhood of e picks at most one from each.
+//
+// It also returns the edge list of g indexed by the line-graph vertex ids,
+// so callers can map a matching in L(g) back to g.
+func LineGraph(g *graph.Static) (*graph.Static, []graph.Edge) {
+	edges := g.Edges()
+	id := make(map[graph.Edge]int32, len(edges))
+	for i, e := range edges {
+		id[e] = int32(i)
+	}
+	b := graph.NewBuilder(len(edges))
+	// The edges incident on each vertex v of g form a clique in L(g).
+	for v := int32(0); v < int32(g.N()); v++ {
+		nb := g.Neighbors(v)
+		for i := 0; i < len(nb); i++ {
+			ei := id[graph.Edge{U: v, V: nb[i]}.Canonical()]
+			for j := i + 1; j < len(nb); j++ {
+				ej := id[graph.Edge{U: v, V: nb[j]}.Canonical()]
+				b.AddEdge(ei, ej)
+			}
+		}
+	}
+	return b.Build(), edges
+}
+
+// LineGraphInstance returns the line graph of a random base graph chosen so
+// L has roughly n vertices and the requested average degree, certified β ≤ 2.
+//
+// The base is G(n0, p): L has m0 = C(n0,2)·p vertices in expectation and a
+// vertex of L (an edge uv of the base) has degree deg(u)+deg(v)-2 ≈ 2·n0·p.
+func LineGraphInstance(n int, avgDeg float64, seed uint64) Instance {
+	// Choose n0 so that the base has ~n edges with average base degree
+	// avgDeg/2: n0·(avgDeg/2)/2 = n  =>  n0 = 4n/avgDeg.
+	n0 := int(4 * float64(n) / avgDeg)
+	if n0 < 4 {
+		n0 = 4
+	}
+	p := avgDeg / 2 / float64(n0-1)
+	if p > 1 {
+		p = 1
+	}
+	base := ErdosRenyi(n0, p, seed)
+	lg, _ := LineGraph(base)
+	return Instance{Name: "line", G: lg, Beta: 2}
+}

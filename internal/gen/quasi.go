@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// QuasiUnitDisk returns a quasi-unit-disk graph (Kuhn–Wattenhofer–Zollinger,
+// cited by the paper as a bounded-growth family): n uniform points in the
+// unit square where points within rInner are always adjacent, points beyond
+// rOuter never are, and pairs in between are adjacent independently with
+// probability 0.5 — modeling irregular radio ranges.
+//
+// Its neighborhood independence number is at most QuasiUnitDiskBetaBound
+// (a packing argument): an independent set in N(v) consists of points
+// within rOuter of v that are pairwise more than rInner apart, so disks of
+// radius rInner/2 around them are disjoint and fit inside a disk of radius
+// rOuter + rInner/2 around v.
+func QuasiUnitDisk(n int, rInner, rOuter float64, seed uint64) *graph.Static {
+	if rInner <= 0 || rOuter < rInner {
+		panic(fmt.Sprintf("gen: need 0 < rInner <= rOuter, got %v, %v", rInner, rOuter))
+	}
+	r := rng(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	b := graph.NewBuilder(n)
+	cellSize := rOuter
+	cells := int(1/cellSize) + 1
+	grid := make(map[[2]int][]int32)
+	cellOf := func(p Point) [2]int {
+		cx, cy := int(p.X/cellSize), int(p.Y/cellSize)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i, p := range pts {
+		grid[cellOf(p)] = append(grid[cellOf(p)], int32(i))
+	}
+	in2, out2 := rInner*rInner, rOuter*rOuter
+	for i, p := range pts {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= int32(i) {
+						continue
+					}
+					q := pts[j]
+					ddx, ddy := p.X-q.X, p.Y-q.Y
+					d2 := ddx*ddx + ddy*ddy
+					switch {
+					case d2 <= in2:
+						b.AddEdge(int32(i), j)
+					case d2 <= out2 && r.IntN(2) == 0:
+						b.AddEdge(int32(i), j)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// QuasiUnitDiskBetaBound returns the certified neighborhood-independence
+// bound ⌈(2α+1)²⌉ for ratio α = rOuter/rInner (disk-packing argument).
+func QuasiUnitDiskBetaBound(rInner, rOuter float64) int {
+	alpha := rOuter / rInner
+	return int(math.Ceil((2*alpha + 1) * (2*alpha + 1)))
+}
+
+// QuasiUnitDiskInstance returns a quasi-unit-disk instance with expected
+// degree roughly avgDeg at range ratio α = 1.5 and its certified β.
+func QuasiUnitDiskInstance(n int, avgDeg float64, seed uint64) Instance {
+	// Expected neighbors ≈ n·π·(rIn² + (rOut²−rIn²)/2); with rOut = 1.5·rIn
+	// that is n·π·rIn²·1.625.
+	rIn := math.Sqrt(avgDeg / (float64(n) * math.Pi * 1.625))
+	rOut := 1.5 * rIn
+	return Instance{
+		Name: "quasidisk",
+		G:    QuasiUnitDisk(n, rIn, rOut, seed),
+		Beta: QuasiUnitDiskBetaBound(rIn, rOut),
+	}
+}

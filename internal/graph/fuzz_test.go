@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText feeds arbitrary bytes to the parser: it must never panic,
+// and anything it accepts must be a valid graph that round-trips.
+func FuzzReadText(f *testing.F) {
+	f.Add("n 3 m 1\n0 2\n")
+	f.Add("n 0 m 0\n")
+	f.Add("# comment\nn 2 m 1\n0 1\n")
+	f.Add("n 2 m 1\n0 5\n")
+	f.Add("garbage")
+	f.Add("n 2 m 2\n0 1\n0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("cannot re-encode accepted graph: %v", err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N() != g.N() || !slices.Equal(g2.Edges(), g.Edges()) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzRadixSort cross-checks the radix sort against the standard library
+// on arbitrary byte-derived inputs.
+func FuzzRadixSort(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint64(7))
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64) {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := len(raw)*8 + rng.IntN(700) // cross the small-input cutoff
+		keys := make([]uint64, n)
+		for i := range keys {
+			// Mix fuzz bytes with pseudo-randomness, biased toward packed
+			// edge shapes (small varying bit ranges).
+			b := uint64(0)
+			if len(raw) > 0 {
+				b = uint64(raw[i%len(raw)])
+			}
+			keys[i] = b<<32 | uint64(rng.Uint32())>>uint(rng.IntN(24))
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		radixSortUint64(keys)
+		if !slices.Equal(keys, want) {
+			t.Fatal("radix sort disagrees with slices.Sort")
+		}
+	})
+}

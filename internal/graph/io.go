@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format is a simple whitespace edge list:
+//
+//	# optional comments
+//	n <vertices> m <edges>
+//	u v
+//	...
+//
+// Vertices are 0-based. The header makes isolated vertices representable.
+
+// WriteText encodes g in the text edge-list format.
+func WriteText(w io.Writer, g *Static) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d m %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var ferr error
+	g.ForEachEdge(func(u, v int32) {
+		if ferr == nil {
+			_, ferr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a graph from the text edge-list format.
+func ReadText(r io.Reader) (*Static, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var b *Builder
+	var wantM, gotM int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if b == nil {
+			var n, m int
+			if _, err := fmt.Sscanf(text, "n %d m %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad header %q: %w", line, text, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header values", line)
+			}
+			b = NewBuilder(n)
+			wantM = m
+			continue
+		}
+		var u, v int32
+		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q: %w", line, text, err)
+		}
+		if u < 0 || int(u) >= b.N() || v < 0 || int(v) >= b.N() {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", line, u, v)
+		}
+		b.AddEdge(u, v)
+		gotM++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if gotM != wantM {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", wantM, gotM)
+	}
+	return b.Build(), nil
+}

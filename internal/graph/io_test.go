@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g := FromEdges(6, []Edge{{0, 1}, {2, 3}, {4, 5}, {0, 5}})
+	var sb strings.Builder
+	if err := WriteText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || !slices.Equal(got.Edges(), g.Edges()) {
+		t.Errorf("round trip mismatch: %v vs %v", got.Edges(), g.Edges())
+	}
+}
+
+func TestReadTextCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\nn 3 m 1\n# another\n0 2\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 || !g.HasEdge(0, 2) {
+		t.Errorf("parsed N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "vertices 3\n",
+		"neg header":  "n -1 m 0\n",
+		"bad edge":    "n 2 m 1\nx y\n",
+		"range edge":  "n 2 m 1\n0 5\n",
+		"count short": "n 3 m 2\n0 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadText accepted bad input %q", name, in)
+		}
+	}
+}
+
+func TestWriteTextIsolatedVertices(t *testing.T) {
+	g := Empty(4)
+	var sb strings.Builder
+	if err := WriteText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || got.M() != 0 {
+		t.Errorf("isolated round trip: N=%d M=%d", got.N(), got.M())
+	}
+}

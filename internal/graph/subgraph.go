@@ -1,0 +1,88 @@
+package graph
+
+// Induced returns the subgraph of g induced by the vertex set verts,
+// together with the mapping from new vertex ids (0..len(verts)-1) back to
+// the original ids. Duplicate vertices in verts are ignored.
+func Induced(g *Static, verts []int32) (*Static, []int32) {
+	inSet := make(map[int32]int32, len(verts))
+	var orig []int32
+	for _, v := range verts {
+		if _, ok := inSet[v]; !ok {
+			inSet[v] = int32(len(orig))
+			orig = append(orig, v)
+		}
+	}
+	b := NewBuilder(len(orig))
+	for _, v := range orig {
+		nv := inSet[v]
+		for _, w := range g.Neighbors(v) {
+			if nw, ok := inSet[w]; ok && nv < nw {
+				b.AddEdge(nv, nw)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// InducedInPlace returns the subgraph of g keeping original vertex ids:
+// vertices outside keep become isolated. keep[v] tells whether v survives.
+func InducedInPlace(g *Static, keep []bool) *Static {
+	b := NewBuilder(g.N())
+	g.ForEachEdge(func(u, v int32) {
+		if keep[u] && keep[v] {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Build()
+}
+
+// Union returns the graph on max(g.N(), h.N()) vertices containing the
+// edges of both g and h.
+func Union(g, h *Static) *Static {
+	n := g.N()
+	if h.N() > n {
+		n = h.N()
+	}
+	b := NewBuilder(n)
+	g.ForEachEdge(b.AddEdge)
+	h.ForEachEdge(b.AddEdge)
+	return b.Build()
+}
+
+// EdgeSubgraph returns the subgraph of g on the same vertex set containing
+// exactly the given edges. Edges not present in g are still included; use
+// this only with edges drawn from g.
+func EdgeSubgraph(n int, edges []Edge) *Static {
+	return FromEdges(n, edges)
+}
+
+// ConnectedComponents returns, for each vertex, the id of its component,
+// plus the number of components. Isolated vertices get their own component.
+func ConnectedComponents(g *Static) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	c := int32(0)
+	for s := int32(0); s < int32(n); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = c
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if comp[w] < 0 {
+					comp[w] = c
+					queue = append(queue, w)
+				}
+			}
+		}
+		c++
+	}
+	return comp, int(c)
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/matching"
+)
+
+// T7 reports the round breakdown of the distributed pipeline as n grows:
+// the sparsification phases are O(1) rounds, the Linial phase is O(log* n)
+// rounds, and the palette walk-down plus matching phases depend only on the
+// composed sparsifier's degree bound — so total rounds are nearly flat in n.
+func T7(cfg Config) []*Table {
+	sizes := []int{200, 400}
+	if !cfg.Quick {
+		sizes = []int{300, 600, 1200, 2400}
+	}
+	opt := dist.PipelineOptions{Delta: 4, DeltaAlpha: 6, AugIters: 20}
+	tbl := NewTable("T7", "distributed pipeline rounds (unitdisk, Δ=4, Δα=6)",
+		"sparsify/compose are 1-round; Linial is log* n; the rest depends only on Δα — rounds ~flat in n",
+		"n", "log*-steps", "r_sparsify", "r_compose", "r_color", "r_mm", "r_aug", "r_total", "ratio vs exact")
+	for _, n := range sizes {
+		inst := gen.UnitDiskInstance(n, 40, cfg.Seed+10)
+		m, ps := dist.ApproxMatchingPipeline(inst.G, inst.Beta, 0.5, opt, cfg.Seed+47)
+		exact := matching.MaximumGeneral(inst.G).Size()
+		ratio := 0.0
+		if m.Size() > 0 {
+			ratio = float64(exact) / float64(m.Size())
+		}
+		tbl.AddRow(n, dist.LinialRounds(n, 6),
+			ps.Sparsify.Rounds, ps.Compose.Rounds, ps.Coloring.Rounds,
+			ps.MM.Rounds, ps.Aug.Rounds, ps.Total.Rounds, ratio)
+	}
+	return []*Table{tbl}
+}
+
+// T8 compares message complexity: the pipeline's messages are bounded by
+// rounds × |E(G̃_Δ)| = O(n·poly(Δα)) regardless of m, while any direct
+// algorithm on G pays Ω(m) messages — the Theorem 3.3 separation.
+func T8(cfg Config) []*Table {
+	n := cfg.pick(400, 800)
+	degs := []float64{32, 64, 128}
+	if !cfg.Quick {
+		degs = []float64{32, 64, 128, 256}
+	}
+	opt := dist.PipelineOptions{Delta: 4, DeltaAlpha: 6, AugIters: 20}
+	tbl := NewTable("T8", "message complexity vs density at fixed n (diversity2 family)",
+		"pipeline messages ~flat in m (it runs on the sparsifier); direct MM pays Ω(m); sparsify phase ≤ 2nΔ",
+		"n", "m", "msg_sparsify", "nΔ", "msg_pipeline", "msg_direct", "direct/pipeline")
+	for _, avg := range degs {
+		inst := gen.BoundedDiversityInstance(n, 2, avg, cfg.Seed+11)
+		g := inst.G
+		_, ps := dist.ApproxMatchingPipeline(g, inst.Beta, 0.5, opt, cfg.Seed+53)
+		_, direct := dist.DirectMM(g, cfg.Seed+59)
+		ratio := 0.0
+		if ps.Total.Messages > 0 {
+			ratio = float64(direct.Messages) / float64(ps.Total.Messages)
+		}
+		tbl.AddRow(n, g.M(), ps.Sparsify.Messages, n*opt.Delta,
+			ps.Total.Messages, direct.Messages, ratio)
+	}
+	return []*Table{tbl}
+}

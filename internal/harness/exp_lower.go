@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/matching"
+)
+
+// T10 demonstrates the two necessity results.
+//
+// Lemma 2.13 (randomization is necessary): a deterministic instantiation of
+// the marking scheme — every vertex marks its first Δ adjacency entries —
+// is defeated by the clique-minus-edge adversary. All marks land on the
+// first Δ+1 vertices, so the deterministic sparsifier's MCM is at most
+// Δ+1 versus the true n/2, a ratio of ~n/(2Δ); the random sparsifier on the
+// same instance stays near ratio 1.
+//
+// Observation 2.14 (exactness is impossible): on two odd cliques joined by
+// a bridge, every maximum matching uses the bridge, which the sparsifier
+// captures only with probability 1−(1−2Δeff/n)² ≈ 4Δeff/n. We measure the
+// capture frequency and the exact-preservation frequency against that
+// prediction.
+func T10(cfg Config) []*Table {
+	det := NewTable("T10a", "deterministic marking on clique-minus-edge (Lemma 2.13)",
+		"deterministic ratio ≈ n/(2Δ); randomized ratio ≈ 1 on the same instance",
+		"n", "Δ", "MCM", "det |M_Δ|", "det ratio", "theory n/(2Δ)", "rand ratio")
+	for _, n := range []int{cfg.pick(100, 400), cfg.pick(200, 800)} {
+		delta := 5
+		g := gen.CliqueMinusEdge(n, int32(n-2), int32(n-1))
+		mcm := matching.MaximumGeneral(g).Size()
+		detSp := deterministicMark(g, delta)
+		detSize := matching.MaximumGeneral(detSp).Size()
+		randSp := core.Sparsify(g, delta, cfg.Seed+83)
+		randSize := matching.MaximumGeneral(randSp).Size()
+		det.AddRow(n, delta, mcm, detSize,
+			float64(mcm)/float64(max(1, detSize)),
+			float64(n)/float64(2*delta),
+			float64(mcm)/float64(max(1, randSize)))
+	}
+
+	// The interactive version of the same lemma: the deterministic marker
+	// plays the probe game against the adaptive oracle and provably cannot
+	// output a feasible sparsifier with MCM above Δ.
+	game := NewTable("T10g", "the Lemma 2.13 adversary game, played interactively",
+		"any deterministic Δ-probe/Δ-mark algorithm ends with MCM ≤ Δ vs truth n/2",
+		"n", "Δ", "probes", "feasible", "output MCM", "ratio ≥", "certificate n/(2Δ)")
+	for _, n := range []int{cfg.pick(100, 400), cfg.pick(200, 800)} {
+		delta := 5
+		o := lowerbound.NewOracle(n, delta)
+		sp := lowerbound.RunDeterministicMarker(o)
+		mcm := matching.MaximumGeneral(sp).Size()
+		game.AddRow(n, delta, o.Probes(), o.Feasible(sp), mcm,
+			float64(n)/2/float64(max(1, mcm)), o.RatioCertificate())
+	}
+
+	exact := NewTable("T10b", "exact preservation on two-cliques-plus-bridge (Obs 2.14)",
+		"bridge capture frequency ≈ 1−(1−2Δeff/n)², so exact preservation needs Δ = Ω(n)",
+		"n", "Δ", "trials", "bridge freq", "predicted", "exact-MCM freq")
+	half := cfg.pick(51, 151)
+	g, bridge := gen.TwoCliquesBridge(half)
+	n := 2 * half
+	mcm := matching.MaximumGeneral(g).Size()
+	trials := cfg.pick(60, 300)
+	for _, delta := range []int{1, 2, 4, 8} {
+		captured, exactCnt := 0, 0
+		for tr := 0; tr < trials; tr++ {
+			sp := core.Sparsify(g, delta, cfg.Seed+uint64(tr)*131+89)
+			if sp.HasEdge(bridge.U, bridge.V) {
+				captured++
+			}
+			if matching.MaximumGeneral(sp).Size() == mcm {
+				exactCnt++
+			}
+		}
+		deff := 2 * delta // the low-degree tweak marks up to 2Δ
+		p := 1 - (1-float64(2*deff)/float64(n))*(1-float64(2*deff)/float64(n))
+		exact.AddRow(n, delta, trials,
+			float64(captured)/float64(trials), p, float64(exactCnt)/float64(trials))
+	}
+	return []*Table{det, game, exact}
+}
+
+// T14 accounts the sequential pipeline's adjacency-array PROBES — the query
+// complexity that the Ω(n·β) lower bound of [5, 8] speaks about. The
+// sparsifier construction probes each vertex's degree plus min(2Δ, deg)
+// neighbor entries, so its probe count is Θ(n·Δ) = Θ(n·(β/ε)·log(1/ε)),
+// within an O(log(1/ε)/ε) factor of the lower bound and far below reading
+// the whole input (2m probes).
+func T14(cfg Config) []*Table {
+	const eps = 0.5
+	n := cfg.pick(1000, 4000)
+	tbl := NewTable("T14", "probe complexity of the sequential pipeline vs the Ω(n·β) bound",
+		"probes = Σ(1 + min(2Δ, deg)) ≈ n(2Δ+1); lower bound n·β; full input 2m; requires the dense regime deg ≫ 2Δ",
+		"family", "β", "Δ", "m", "probes", "LB n·β", "probes/LB", "2m/probes")
+	for _, tc := range []struct {
+		name string
+		make func(avg float64) gen.Instance
+	}{
+		{"diversity2", func(avg float64) gen.Instance { return gen.BoundedDiversityInstance(n, 2, avg, cfg.Seed+101) }},
+		{"diversity4", func(avg float64) gen.Instance { return gen.BoundedDiversityInstance(n, 4, avg, cfg.Seed+102) }},
+		{"clique", func(avg float64) gen.Instance { return gen.CliqueInstance(n) }},
+	} {
+		// Choose density ≈ 8·(2Δ) so the sparsifier regime is active.
+		// (Line graphs are omitted: their degree is bounded by ~2·√(2·n),
+		// which cannot reach the dense probe regime at these sizes.)
+		probeBeta := map[string]int{"diversity2": 2, "diversity4": 4, "clique": 1}[tc.name]
+		delta := core.DeltaLean(probeBeta, eps)
+		inst := tc.make(16 * float64(delta))
+		probes := int64(0)
+		for v := int32(0); v < int32(inst.G.N()); v++ {
+			probes += 1 + int64(min(2*delta, inst.G.Degree(v)))
+		}
+		lb := int64(inst.G.N()) * int64(inst.Beta)
+		tbl.AddRow(tc.name, inst.Beta, delta, inst.G.M(), probes, lb,
+			float64(probes)/float64(lb), float64(2*inst.G.M())/float64(probes))
+	}
+	return []*Table{tbl}
+}
+
+// deterministicMark is the strawman deterministic sparsifier of Lemma 2.13:
+// every vertex marks its first min(Δ, deg) adjacency entries, exactly the
+// lemma's "up to Δ adjacent edges per vertex" budget.
+func deterministicMark(g *graph.Static, delta int) *graph.Static {
+	b := graph.NewBuilder(g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := min(g.Degree(v), delta)
+		for i := 0; i < d; i++ {
+			b.AddEdge(v, g.Neighbor(v, i))
+		}
+	}
+	return b.Build()
+}

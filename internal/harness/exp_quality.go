@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matching"
+)
+
+// qualityRatio returns |MCM(G)| / |MCM(G_Δ)| using the exact blossom
+// algorithm on both graphs.
+func qualityRatio(g *gen.Instance, delta int, seed uint64) (ratio float64, exact, sparse int) {
+	exact = matching.MaximumGeneral(g.G).Size()
+	sp := core.Sparsify(g.G, delta, seed)
+	sparse = matching.MaximumGeneral(sp).Size()
+	if sparse == 0 {
+		if exact == 0 {
+			return 1, exact, sparse
+		}
+		return math.Inf(1), exact, sparse
+	}
+	return float64(exact) / float64(sparse), exact, sparse
+}
+
+// T1 measures the approximation ratio across families as Δ sweeps through
+// multiples of the lean calibration Δ* = ⌈(β/ε)·ln(24/ε)⌉ at ε = 0.2.
+func T1(cfg Config) []*Table {
+	const eps = 0.2
+	n := cfg.pick(300, 1200)
+	reps := cfg.pick(2, 5)
+	tbl := NewTable("T1", "approximation ratio vs Δ multiplier (ε=0.2)",
+		"ratio ≤ 1+ε once Δ reaches Δ* = DeltaLean(β, ε); whole graph ⇒ ratio 1",
+		"family", "β", "Δ*", "mult", "Δ", "ratio(mean)", "ratio(max)")
+	for _, name := range gen.FamilyNames() {
+		inst := gen.Families()[name](n, cfg.Seed+1)
+		dstar := core.DeltaLean(inst.Beta, eps)
+		for _, mult := range []float64{0.25, 0.5, 1, 2} {
+			delta := max(1, int(float64(dstar)*mult))
+			var ratios []float64
+			for r := 0; r < reps; r++ {
+				q, _, _ := qualityRatio(&inst, delta, cfg.Seed+uint64(100*r)+7)
+				ratios = append(ratios, q)
+			}
+			s := Summarize(ratios)
+			tbl.AddRow(name, inst.Beta, dstar, mult, delta, s.Mean, s.Max)
+		}
+	}
+	return []*Table{tbl}
+}
+
+// T2 fixes Δ = DeltaLean(β, ε) and sweeps ε, checking ratio ≤ 1+ε.
+func T2(cfg Config) []*Table {
+	n := cfg.pick(300, 1200)
+	reps := cfg.pick(2, 5)
+	tbl := NewTable("T2", "approximation ratio vs ε at Δ = DeltaLean(β, ε)",
+		"measured ratio stays ≤ 1+ε (w.h.p.) for every ε",
+		"family", "β", "ε", "Δ", "ratio(mean)", "ratio(max)", "1+ε", "ok")
+	for _, name := range []string{"line", "unitdisk", "diversity4", "clique"} {
+		inst := gen.Families()[name](n, cfg.Seed+2)
+		for _, eps := range []float64{0.5, 0.3, 0.2, 0.1} {
+			delta := core.DeltaLean(inst.Beta, eps)
+			var ratios []float64
+			for r := 0; r < reps; r++ {
+				q, _, _ := qualityRatio(&inst, delta, cfg.Seed+uint64(31*r)+13)
+				ratios = append(ratios, q)
+			}
+			s := Summarize(ratios)
+			tbl.AddRow(name, inst.Beta, eps, delta, s.Mean, s.Max, 1+eps, s.Max <= 1+eps)
+		}
+	}
+	return []*Table{tbl}
+}
+
+// T3 compares the sparsifier size against the Observation 2.10 bound
+// 2·MCM·(Δeff+β) with Δeff = 2Δ (the low-degree tweak) and against n·Δeff.
+func T3(cfg Config) []*Table {
+	n := cfg.pick(400, 2000)
+	delta := 8
+	tbl := NewTable("T3", "sparsifier size vs bounds (Δ=8)",
+		"|E(G_Δ)| ≤ 2·|MCM|·(2Δ+β) ≤ 4|MCM|Δeff; sharper than nΔeff for small MCM",
+		"family", "β", "n", "m", "|E(G_Δ)|", "MCM", "2·MCM·(2Δ+β)", "n·2Δ", "ok")
+	for _, name := range gen.FamilyNames() {
+		inst := gen.Families()[name](n, cfg.Seed+3)
+		sp := core.Sparsify(inst.G, delta, cfg.Seed+17)
+		mcm := matching.MaximumGeneral(inst.G).Size()
+		bound := core.SizeUpperBound(mcm, 2*delta, inst.Beta)
+		naive := inst.G.N() * 2 * delta
+		tbl.AddRow(name, inst.Beta, inst.G.N(), inst.G.M(), sp.M(), mcm, bound, naive, sp.M() <= bound)
+	}
+	return []*Table{tbl}
+}
+
+// T4 reports degeneracy (≥ arboricity ≥ degeneracy/2-ish) and the peeling
+// density lower bound of G_Δ against the Observation 2.12 bound 2·Δeff.
+func T4(cfg Config) []*Table {
+	n := cfg.pick(400, 2000)
+	delta := 6
+	tbl := NewTable("T4", "sparsifier uniform sparsity (Δ=6, Δeff=2Δ)",
+		"arboricity(G_Δ) ≤ 2·Δeff: density LB ≤ 2Δeff and degeneracy ≤ 2·(2Δeff)−1",
+		"family", "degeneracy", "densityLB", "bound 2Δeff", "ok")
+	for _, name := range gen.FamilyNames() {
+		inst := gen.Families()[name](n, cfg.Seed+4)
+		sp := core.Sparsify(inst.G, delta, cfg.Seed+23)
+		deg, _ := core.Degeneracy(sp)
+		lb := core.DensityLowerBound(sp)
+		bound := core.ArboricityUpperBound(core.Options{Delta: delta})
+		tbl.AddRow(name, deg, lb, bound, lb <= bound && deg <= 2*bound-1)
+	}
+	return []*Table{tbl}
+}
+
+// F1 estimates the failure probability P(ratio > 1+ε) as n grows, showing
+// the with-high-probability concentration of Theorem 2.1.
+func F1(cfg Config) []*Table {
+	const eps = 0.3
+	trials := cfg.pick(10, 40)
+	sizes := []int{100, 200, 400}
+	if !cfg.Quick {
+		sizes = []int{200, 400, 800, 1600}
+	}
+	tbl := NewTable("F1", "failure frequency vs n (ε=0.3, diversity4 family)",
+		"P(ratio > 1+ε) vanishes as n grows",
+		"n", "Δ", "trials", "failures", "failure rate", "ratio(max)")
+	for _, n := range sizes {
+		inst := gen.BoundedDiversityInstance(n, 4, 48, cfg.Seed+5)
+		delta := core.DeltaLean(inst.Beta, eps)
+		failures := 0
+		worst := 0.0
+		for tr := 0; tr < trials; tr++ {
+			q, _, _ := qualityRatio(&inst, delta, cfg.Seed+uint64(tr)*101+41)
+			if q > 1+eps {
+				failures++
+			}
+			if q > worst {
+				worst = q
+			}
+		}
+		tbl.AddRow(n, delta, trials, failures, float64(failures)/float64(trials), worst)
+	}
+	return []*Table{tbl}
+}
+
+// F2 produces the figure series: preserved matching fraction |M_Δ|/|M| as Δ
+// sweeps, one series per family — rising sharply then plateauing near 1.
+func F2(cfg Config) []*Table {
+	n := cfg.pick(300, 1000)
+	reps := cfg.pick(2, 4)
+	tbl := NewTable("F2", "preserved MCM fraction vs Δ (figure series)",
+		"each family's curve rises with Δ and plateaus at 1",
+		"family", "Δ", "|M_Δ|/|M| (mean)", "min")
+	for _, name := range gen.FamilyNames() {
+		inst := gen.Families()[name](n, cfg.Seed+6)
+		exact := matching.MaximumGeneral(inst.G).Size()
+		if exact == 0 {
+			continue
+		}
+		for _, delta := range []int{1, 2, 4, 8, 16, 32} {
+			var fr []float64
+			for r := 0; r < reps; r++ {
+				sp := core.Sparsify(inst.G, delta, cfg.Seed+uint64(r*53)+3)
+				fr = append(fr, float64(matching.MaximumGeneral(sp).Size())/float64(exact))
+			}
+			s := Summarize(fr)
+			tbl.AddRow(name, delta, s.Mean, s.Min)
+		}
+	}
+	return []*Table{tbl}
+}
+
+// F3 validates Lemma 2.2: |MCM| ≥ n'/(β+2) on every family.
+func F3(cfg Config) []*Table {
+	n := cfg.pick(300, 1500)
+	tbl := NewTable("F3", "matching lower bound (Lemma 2.2)",
+		"|MCM|·(β+2) ≥ n' for every bounded-β family",
+		"family", "β", "n'", "MCM", "bound ⌈n'/(β+2)⌉", "slack", "ok")
+	for _, name := range gen.FamilyNames() {
+		inst := gen.Families()[name](n, cfg.Seed+7)
+		mcm := matching.MaximumGeneral(inst.G).Size()
+		ni := inst.G.NonIsolated()
+		lb := core.MatchingLowerBound(ni, inst.Beta)
+		slack := 0.0
+		if lb > 0 {
+			slack = float64(mcm) / float64(lb)
+		}
+		tbl.AddRow(name, inst.Beta, ni, mcm, lb, slack, mcm >= lb)
+	}
+	return []*Table{tbl}
+}

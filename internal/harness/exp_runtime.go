@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matching"
+)
+
+// timeIt returns the best-of-3 wall time of fn in milliseconds (the
+// minimum is the standard robust estimator against scheduler noise).
+func timeIt(fn func()) float64 {
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		fn()
+		ms := float64(time.Since(start).Microseconds()) / 1000.0
+		if i == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best
+}
+
+// T5 measures the sequential runtime of the Theorem 3.1 pipeline
+// (sparsify + bounded-augmentation matching on the sparsifier) against the
+// same matcher on the full graph and against greedy, as n (and hence
+// m ≈ n·avgdeg) grows on a dense bounded-β family. The pipeline's time
+// scales with n·Δ while the full-graph algorithms scale with m.
+func T5(cfg Config) []*Table {
+	const eps, beta = 0.3, 2
+	delta := core.DeltaLean(beta, eps) // 30: vertices mark ≤ 2Δ = 60 edges
+	sizes := []int{500, 1000, 2000}
+	avg := 256.0
+	if !cfg.Quick {
+		sizes = []int{1000, 2000, 4000, 8000}
+		avg = 512.0
+	}
+	tbl := NewTable("T5", "sequential runtime scaling on diversity2 (ε=0.3)",
+		"sparsified pipeline ∝ nΔ; full-graph matcher ∝ m; speedup grows like m/(nΔ)",
+		"n", "m", "nΔ", "t_pipeline(ms)", "t_full(ms)", "t_greedy(ms)", "speedup", "|M_pipe|/|M_full|")
+	for _, n := range sizes {
+		inst := gen.BoundedDiversityInstance(n, beta, avg, cfg.Seed+8)
+		g := inst.G
+		var mPipe, mFull *matching.Matching
+		tPipe := timeIt(func() {
+			sp := core.Sparsify(g, delta, cfg.Seed+29)
+			mPipe = matching.ApproxGeneral(sp, eps, cfg.Seed+31)
+		})
+		tFull := timeIt(func() { mFull = matching.ApproxGeneral(g, eps, cfg.Seed+37) })
+		tGreedy := timeIt(func() { matching.Greedy(g) })
+		frac := 0.0
+		if mFull.Size() > 0 {
+			frac = float64(mPipe.Size()) / float64(mFull.Size())
+		}
+		tbl.AddRow(n, g.M(), n*delta, tPipe, tFull, tGreedy, tFull/maxf(tPipe, 1e-6), frac)
+	}
+
+	// Second table: fix n and let the density grow — the pipeline's cost is
+	// flat in m (it never reads most of the graph) while the full-graph
+	// matcher pays for every edge. This is the sublinearity statement.
+	n := cfg.pick(1500, 4000)
+	degs := []float64{128, 256, 512}
+	if !cfg.Quick {
+		degs = []float64{128, 256, 512, 1024}
+	}
+	tbl2 := NewTable("T5b", "runtime vs density at fixed n (ε=0.3)",
+		"pipeline flat in m; full-graph cost ∝ m; speedup ∝ m/(nΔ)",
+		"n", "avg deg", "m", "m/(nΔ)", "t_pipeline(ms)", "t_full(ms)", "speedup")
+	for _, avg := range degs {
+		inst := gen.BoundedDiversityInstance(n, beta, avg, cfg.Seed+80)
+		g := inst.G
+		tPipe := timeIt(func() {
+			sp := core.Sparsify(g, delta, cfg.Seed+81)
+			matching.ApproxGeneral(sp, eps, cfg.Seed+82)
+		})
+		tFull := timeIt(func() { matching.ApproxGeneral(g, eps, cfg.Seed+83) })
+		tbl2.AddRow(n, g.AvgDegree(), g.M(), float64(g.M())/float64(n*delta),
+			tPipe, tFull, tFull/maxf(tPipe, 1e-6))
+	}
+	return []*Table{tbl, tbl2}
+}
+
+// T6 fixes n and sweeps β on the bounded-diversity family: the pipeline's
+// cost grows linearly with β (through Δ), independent of density beyond it.
+func T6(cfg Config) []*Table {
+	const eps = 0.25
+	n := cfg.pick(1000, 4000)
+	avg := cfg.pick(256, 512)
+	tbl := NewTable("T6", "pipeline runtime vs β at fixed n (ε=0.25)",
+		"time ∝ β through Δ = (β/ε)·ln(24/ε); quality stays within 1+ε",
+		"β", "Δ", "m", "t_pipeline(ms)", "|M_pipe|", "|M_full|", "ratio")
+	for _, beta := range []int{1, 2, 4} {
+		inst := gen.BoundedDiversityInstance(n, beta, float64(avg), cfg.Seed+9)
+		g := inst.G
+		delta := core.DeltaLean(beta, eps)
+		var mPipe *matching.Matching
+		t := timeIt(func() {
+			sp := core.Sparsify(g, delta, cfg.Seed+41)
+			mPipe = matching.ApproxGeneral(sp, eps, cfg.Seed+43)
+		})
+		full := matching.MaximumGeneral(g).Size()
+		ratio := 0.0
+		if mPipe.Size() > 0 {
+			ratio = float64(full) / float64(mPipe.Size())
+		}
+		tbl.AddRow(beta, delta, g.M(), t, mPipe.Size(), full, ratio)
+	}
+	return []*Table{tbl}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

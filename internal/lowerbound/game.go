@@ -1,0 +1,122 @@
+// Package lowerbound implements the adversary game from the proof of
+// Lemma 2.13: no deterministic instantiation of the marking scheme can beat
+// approximation ratio n/(2Δ) on the clique-minus-edge family 𝒢_n.
+//
+// The game: a deterministic algorithm may probe up to Δ entries of each
+// vertex's adjacency array and then output up to Δ marked edges per vertex.
+// The adversary answers probes adaptively — probes on vertices outside a
+// pre-chosen set D of Δ vertices are answered with members of D, probes on
+// D with arbitrary fresh vertices — so every answered edge touches D. Any
+// output edge with both endpoints outside D might be the instance's
+// non-edge, hence infeasible; a feasible output therefore has every edge
+// touching D, and its maximum matching has size at most |D| = Δ versus the
+// true n/2.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Oracle is the adaptive adversary of Lemma 2.13 for an n-vertex instance
+// with probe budget Δ per vertex. It answers adjacency-array probes so that
+// every reported neighbor relation touches the set D = {0, …, Δ−1}.
+type Oracle struct {
+	n, delta int
+	answered map[int32][]int32 // answers already given per vertex
+	probes   int64
+}
+
+// NewOracle creates the adversary for an n-vertex clique-minus-edge family
+// with per-vertex probe budget delta (requires Δ < n/2 as in the lemma).
+func NewOracle(n, delta int) *Oracle {
+	if delta < 1 || delta >= n/2 {
+		panic(fmt.Sprintf("lowerbound: need 1 <= Δ < n/2, got Δ=%d n=%d", delta, n))
+	}
+	return &Oracle{n: n, delta: delta, answered: make(map[int32][]int32)}
+}
+
+// N returns the instance size, Delta the probe budget, Probes the count of
+// probes answered so far.
+func (o *Oracle) N() int        { return o.n }
+func (o *Oracle) Delta() int    { return o.delta }
+func (o *Oracle) Probes() int64 { return o.probes }
+
+// D reports whether v belongs to the adversary's distinguished set.
+func (o *Oracle) D(v int32) bool { return int(v) < o.delta }
+
+// Probe asks for a new (not previously returned) neighbor of u. It panics
+// if u's probe budget Δ is exhausted — the model of the lemma.
+func (o *Oracle) Probe(u int32) int32 {
+	if u < 0 || int(u) >= o.n {
+		panic(fmt.Sprintf("lowerbound: probe on invalid vertex %d", u))
+	}
+	prev := o.answered[u]
+	if len(prev) >= o.delta {
+		panic(fmt.Sprintf("lowerbound: vertex %d exceeded its %d-probe budget", u, o.delta))
+	}
+	o.probes++
+	given := make(map[int32]bool, len(prev))
+	for _, w := range prev {
+		given[w] = true
+	}
+	var answer int32 = -1
+	if !o.D(u) {
+		// Answer with an unused member of D (|D| = Δ ≥ budget, so this is
+		// always possible).
+		for d := int32(0); d < int32(o.delta); d++ {
+			if !given[d] {
+				answer = d
+				break
+			}
+		}
+	} else {
+		// Vertices of D may be connected to anyone; hand out fresh vertices.
+		for w := int32(0); w < int32(o.n); w++ {
+			if w != u && !given[w] {
+				answer = w
+				break
+			}
+		}
+	}
+	o.answered[u] = append(prev, answer)
+	return answer
+}
+
+// Feasible reports whether the output sparsifier is consistent with EVERY
+// graph of the family that agrees with the answers given — i.e. whether it
+// avoids claiming an edge the adversary can declare to be the non-edge.
+// Any edge with both endpoints outside D and not among the answers is
+// deniable; since answers only ever touch D, the condition is simply that
+// every output edge touches D.
+func (o *Oracle) Feasible(sp *graph.Static) bool {
+	ok := true
+	sp.ForEachEdge(func(u, v int32) {
+		if !o.D(u) && !o.D(v) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// RatioCertificate returns the lemma's conclusion for a feasible output:
+// the output's MCM is at most |D| = Δ (every edge touches D) while the
+// true instance has a perfect matching of size n/2, so the approximation
+// ratio is at least (n/2)/Δ = n/(2Δ).
+func (o *Oracle) RatioCertificate() float64 {
+	return float64(o.n) / float64(2*o.delta)
+}
+
+// RunDeterministicMarker plays the game with the natural deterministic
+// algorithm (probe the first Δ entries of every adjacency array and mark
+// exactly the probed edges) and returns its output sparsifier.
+func RunDeterministicMarker(o *Oracle) *graph.Static {
+	b := graph.NewBuilder(o.n)
+	for v := int32(0); v < int32(o.n); v++ {
+		for t := 0; t < o.Delta(); t++ {
+			b.AddEdge(v, o.Probe(v))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,132 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+func TestNewOracleValidation(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{10, 0}, {10, 5}, {4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewOracle(%d,%d) did not panic", tc.n, tc.d)
+				}
+			}()
+			NewOracle(tc.n, tc.d)
+		}()
+	}
+	NewOracle(10, 4) // must be fine
+}
+
+func TestProbeBudgetEnforced(t *testing.T) {
+	o := NewOracle(20, 3)
+	for i := 0; i < 3; i++ {
+		o.Probe(5)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fourth probe did not panic")
+		}
+	}()
+	o.Probe(5)
+}
+
+func TestProbeAnswersTouchD(t *testing.T) {
+	o := NewOracle(30, 4)
+	for v := int32(0); v < 30; v++ {
+		seen := map[int32]bool{}
+		for t2 := 0; t2 < 4; t2++ {
+			w := o.Probe(v)
+			if w == v {
+				t.Fatalf("self answer at %d", v)
+			}
+			if seen[w] {
+				t.Fatalf("repeated answer %d for vertex %d", w, v)
+			}
+			seen[w] = true
+			if !o.D(v) && !o.D(w) {
+				t.Fatalf("answer (%d,%d) avoids D entirely", v, w)
+			}
+		}
+	}
+	if o.Probes() != 120 {
+		t.Errorf("probe count %d, want 120", o.Probes())
+	}
+}
+
+func TestDeterministicMarkerLoses(t *testing.T) {
+	// The lemma's conclusion, played out: the deterministic marker's output
+	// is feasible (never claims a deniable edge) but its MCM is ≤ Δ, a
+	// ratio of ≥ n/(2Δ) versus the family's perfect matching.
+	for _, tc := range []struct{ n, delta int }{{100, 5}, {200, 8}, {400, 5}} {
+		o := NewOracle(tc.n, tc.delta)
+		sp := RunDeterministicMarker(o)
+		if !o.Feasible(sp) {
+			t.Fatalf("n=%d Δ=%d: deterministic marker output infeasible", tc.n, tc.delta)
+		}
+		mcm := matching.MaximumGeneral(sp).Size()
+		if mcm > tc.delta {
+			t.Errorf("n=%d Δ=%d: output MCM %d exceeds |D| = Δ", tc.n, tc.delta, mcm)
+		}
+		ratio := float64(tc.n) / 2 / float64(mcm)
+		if ratio < o.RatioCertificate() {
+			t.Errorf("n=%d Δ=%d: achieved ratio %.1f below certificate %.1f",
+				tc.n, tc.delta, ratio, o.RatioCertificate())
+		}
+	}
+}
+
+func TestFeasibleDetectsDeniableEdges(t *testing.T) {
+	o := NewOracle(20, 3)
+	// An "algorithm" that guesses an unprobed edge far from D: deniable.
+	b := graph.NewBuilder(20)
+	b.AddEdge(15, 16)
+	if o.Feasible(b.Build()) {
+		t.Fatal("edge outside D accepted as feasible")
+	}
+	b2 := graph.NewBuilder(20)
+	b2.AddEdge(0, 16) // touches D
+	if !o.Feasible(b2.Build()) {
+		t.Fatal("edge touching D rejected")
+	}
+}
+
+func TestGameConsistentWithConcreteInstance(t *testing.T) {
+	// Every answer the adversary gives must hold in SOME clique-minus-edge
+	// graph: any instance whose non-edge avoids the answered pairs. Since
+	// all answers touch D and a non-edge among two non-D vertices exists
+	// (Δ < n/2 leaves ≥ 2 vertices outside D), the answers are consistent.
+	o := NewOracle(16, 3)
+	var answered []graph.Edge
+	for v := int32(0); v < 16; v++ {
+		for t2 := 0; t2 < 3; t2++ {
+			answered = append(answered, graph.Edge{U: v, V: o.Probe(v)}.Canonical())
+		}
+	}
+	// Concrete witness: K16 minus edge (14, 15).
+	witness := make(map[graph.Edge]bool)
+	for u := int32(0); u < 16; u++ {
+		for w := u + 1; w < 16; w++ {
+			witness[graph.Edge{U: u, V: w}] = true
+		}
+	}
+	delete(witness, graph.Edge{U: 14, V: 15})
+	for _, e := range answered {
+		if !witness[e] {
+			t.Fatalf("answered edge %v not present in the witness instance", e)
+		}
+	}
+}
+
+func TestOracleAccessors(t *testing.T) {
+	o := NewOracle(12, 3)
+	if o.N() != 12 || o.Delta() != 3 || o.Probes() != 0 {
+		t.Errorf("accessors: N=%d Δ=%d probes=%d", o.N(), o.Delta(), o.Probes())
+	}
+	if o.RatioCertificate() != 2.0 {
+		t.Errorf("certificate = %v, want 2", o.RatioCertificate())
+	}
+}

@@ -1,0 +1,45 @@
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BruteForceSize computes the exact maximum matching size by exhaustive
+// branch-and-bound over vertices. Exponential; intended for cross-validating
+// the other algorithms on graphs with up to ~24 vertices (it panics above 62
+// vertices, the capacity of its bitmask).
+func BruteForceSize(g *graph.Static) int {
+	n := g.N()
+	if n > 62 {
+		panic(fmt.Sprintf("matching: BruteForceSize limited to 62 vertices, got %d", n))
+	}
+	memo := make(map[uint64]int)
+	var solve func(avail uint64) int
+	solve = func(avail uint64) int {
+		if avail == 0 {
+			return 0
+		}
+		if v, ok := memo[avail]; ok {
+			return v
+		}
+		// Find the lowest available vertex.
+		var v int32
+		for v = 0; avail&(1<<uint(v)) == 0; v++ {
+		}
+		// Option 1: leave v unmatched.
+		best := solve(avail &^ (1 << uint(v)))
+		// Option 2: match v to an available neighbor.
+		for _, w := range g.Neighbors(v) {
+			if avail&(1<<uint(w)) != 0 {
+				if s := 1 + solve(avail&^(1<<uint(v))&^(1<<uint(w))); s > best {
+					best = s
+				}
+			}
+		}
+		memo[avail] = best
+		return best
+	}
+	return solve((uint64(1) << uint(n)) - 1)
+}

@@ -1,0 +1,131 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Bipartition 2-colors g, returning side[v] ∈ {0, 1} for every vertex (an
+// arbitrary side for isolated vertices) or an error if g has an odd cycle.
+func Bipartition(g *graph.Static) ([]uint8, error) {
+	n := g.N()
+	side := make([]uint8, n)
+	seen := make([]bool, n)
+	var queue []int32
+	for s := int32(0); s < int32(n); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					side[w] = 1 - side[v]
+					queue = append(queue, w)
+				} else if side[w] == side[v] {
+					return nil, fmt.Errorf("matching: graph is not bipartite (odd cycle through %d-%d)", v, w)
+				}
+			}
+		}
+	}
+	return side, nil
+}
+
+// HopcroftKarp computes a maximum matching of the bipartite graph g.
+// It panics if g is not bipartite; use HopcroftKarpPhases to handle the
+// error or to bound the number of phases.
+func HopcroftKarp(g *graph.Static) *Matching {
+	m, err := HopcroftKarpPhases(g, math.MaxInt)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// HopcroftKarpPhases runs at most maxPhases phases of Hopcroft–Karp, where
+// phase i augments along a maximal set of vertex-disjoint shortest
+// augmenting paths. After k completed phases every remaining augmenting
+// path has length ≥ 2k+1, so the result is a (1 + 1/k)-approximate maximum
+// matching (exact when the algorithm stops before exhausting maxPhases).
+func HopcroftKarpPhases(g *graph.Static, maxPhases int) (*Matching, error) {
+	side, err := Bipartition(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	// pair[v] is v's partner or -1; maintained with overwrite semantics
+	// during the DFS (temporarily inconsistent mid-augmentation), converted
+	// to a Matching at the end.
+	pair := make([]int32, n)
+	for i := range pair {
+		pair[i] = -1
+	}
+	const inf = int32(math.MaxInt32)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	iter := make([]int, n)
+
+	// BFS from free left vertices through alternating layers; returns true
+	// if a free right vertex is reachable.
+	bfs := func() bool {
+		queue = queue[:0]
+		for v := int32(0); v < int32(n); v++ {
+			if side[v] == 0 && pair[v] < 0 {
+				dist[v] = 0
+				queue = append(queue, v)
+			} else {
+				dist[v] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, w := range g.Neighbors(v) {
+				mate := pair[w]
+				if mate < 0 {
+					found = true
+					continue
+				}
+				if dist[mate] == inf {
+					dist[mate] = dist[v] + 1
+					queue = append(queue, mate)
+				}
+			}
+		}
+		return found
+	}
+
+	// DFS along the BFS layers from left vertex v to a free right vertex,
+	// rewiring pairs with overwrite semantics on success.
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		for ; iter[v] < g.Degree(v); iter[v]++ {
+			w := g.Neighbor(v, iter[v])
+			mate := pair[w]
+			if mate < 0 || (dist[mate] == dist[v]+1 && dfs(mate)) {
+				pair[w] = v
+				pair[v] = w
+				iter[v]++
+				return true
+			}
+		}
+		dist[v] = inf
+		return false
+	}
+
+	for phase := 0; phase < maxPhases && bfs(); phase++ {
+		clear(iter)
+		for v := int32(0); v < int32(n); v++ {
+			if side[v] == 0 && pair[v] < 0 {
+				dfs(v)
+			}
+		}
+	}
+	return FromMates(pair), nil
+}

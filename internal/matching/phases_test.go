@@ -1,0 +1,115 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDisjointAugmentBasic(t *testing.T) {
+	// Two disjoint P4s, both with only the middle edge matched: one phase
+	// at length 3 must fix both simultaneously.
+	g := graph.FromEdges(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7},
+	})
+	m := NewMatching(8)
+	m.Match(1, 2)
+	m.Match(5, 6)
+	if got := DisjointAugment(g, m, 3); got != 2 {
+		t.Fatalf("phase augmented %d paths, want 2", got)
+	}
+	if m.Size() != 4 {
+		t.Errorf("size %d, want perfect 4", m.Size())
+	}
+	if err := Verify(g, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointAugmentRespectsDisjointness(t *testing.T) {
+	// A star of P3s through one center: only one augmenting path can use
+	// the center per phase.
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 4}, {U: 1, V: 4}, {U: 2, V: 4}, {U: 3, V: 4},
+	})
+	m := NewMatching(5)
+	if got := DisjointAugment(g, m, 1); got != 1 {
+		t.Errorf("star phase augmented %d, want 1 (center is shared)", got)
+	}
+}
+
+func TestDisjointAugmentLengthBound(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}})
+	m := NewMatching(6)
+	m.Match(1, 2)
+	m.Match(3, 4)
+	if got := DisjointAugment(g, m, 3); got != 0 {
+		t.Errorf("length-3 phase found %d paths on a length-5 instance", got)
+	}
+	if got := DisjointAugment(g, m, 5); got != 1 {
+		t.Errorf("length-5 phase found %d paths, want 1", got)
+	}
+}
+
+func TestPhaseStructuredApproxExactOnBipartite(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		g := func() *graph.Static {
+			b := graph.NewBuilder(16)
+			rng := newTestRNG(seed)
+			for u := int32(0); u < 8; u++ {
+				for v := int32(8); v < 16; v++ {
+					if rng.Float64() < 0.35 {
+						b.AddEdge(u, v)
+					}
+				}
+			}
+			return b.Build()
+		}()
+		// ε small enough that maxLen ≥ any augmenting path in a 16-vertex
+		// graph, so the schedule is exhaustive.
+		m := PhaseStructuredApprox(g, 0.07, seed)
+		if err := Verify(g, m); err != nil {
+			t.Fatal(err)
+		}
+		if want := BruteForceSize(g); m.Size() != want {
+			t.Errorf("seed %d: phases=%d brute=%d", seed, m.Size(), want)
+		}
+	}
+}
+
+func TestPhaseStructuredApproxQualityGeneral(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := randomGraph(18, 0.3, seed)
+		exact := BruteForceSize(g)
+		if exact == 0 {
+			continue
+		}
+		m := PhaseStructuredApprox(g, 0.2, seed)
+		if err := Verify(g, m); err != nil {
+			t.Fatal(err)
+		}
+		if float64(exact) > 1.5*float64(m.Size()) {
+			t.Errorf("seed %d: phases=%d exact=%d", seed, m.Size(), exact)
+		}
+	}
+}
+
+func TestPhaseVsSequentialAugmentAgree(t *testing.T) {
+	// Both approximation strategies should land within a couple of edges of
+	// each other on moderate instances.
+	g := randomGraph(60, 0.1, 5)
+	a := ApproxGeneral(g, 0.2, 9)
+	b := PhaseStructuredApprox(g, 0.2, 9)
+	if d := a.Size() - b.Size(); d > 3 || d < -3 {
+		t.Errorf("sequential=%d vs phases=%d diverge", a.Size(), b.Size())
+	}
+}
+
+func BenchmarkDisjointAugmentPhase(b *testing.B) {
+	g := randomGraph(800, 0.02, 1)
+	for i := 0; i < b.N; i++ {
+		m := Greedy(g)
+		DisjointAugment(g, m, 5)
+	}
+}

@@ -1,0 +1,40 @@
+package matching
+
+import "repro/internal/graph"
+
+// VertexCoverFromMatching returns the endpoints of a MAXIMAL matching,
+// which form a vertex cover of at most twice the minimum size (König-style
+// companion bound; the classic use of maximal matchings). It panics if m is
+// not maximal in g, since the cover property would then fail.
+func VertexCoverFromMatching(g *graph.Static, m *Matching) []int32 {
+	if !IsMaximal(g, m) {
+		panic("matching: vertex cover needs a maximal matching")
+	}
+	cover := make([]int32, 0, 2*m.Size())
+	for v := int32(0); v < int32(m.N()); v++ {
+		if m.IsMatched(v) {
+			cover = append(cover, v)
+		}
+	}
+	return cover
+}
+
+// IsVertexCover reports whether every edge of g has an endpoint in cover.
+func IsVertexCover(g *graph.Static, cover []int32) bool {
+	in := make([]bool, g.N())
+	for _, v := range cover {
+		in[v] = true
+	}
+	ok := true
+	g.ForEachEdge(func(u, v int32) {
+		if !in[u] && !in[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// MinVertexCoverSizeLB returns the trivial lower bound |M| on the minimum
+// vertex cover size for any matching M of g (each matched edge needs its
+// own cover vertex).
+func MinVertexCoverSizeLB(m *Matching) int { return m.Size() }

@@ -1,0 +1,48 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestVertexCoverFromMatching(t *testing.T) {
+	g := randomGraph(30, 0.2, 3)
+	m := Greedy(g)
+	cover := VertexCoverFromMatching(g, m)
+	if !IsVertexCover(g, cover) {
+		t.Fatal("endpoints of maximal matching do not cover all edges")
+	}
+	if len(cover) != 2*m.Size() {
+		t.Errorf("cover size %d != 2|M| = %d", len(cover), 2*m.Size())
+	}
+	// 2-approximation: any cover has ≥ |M| vertices.
+	if len(cover) > 2*MinVertexCoverSizeLB(m) {
+		t.Errorf("cover %d exceeds twice the LB %d", len(cover), MinVertexCoverSizeLB(m))
+	}
+}
+
+func TestVertexCoverRejectsNonMaximal(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	m := NewMatching(4)
+	m.Match(0, 1) // edge 2-3 uncovered
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-maximal matching accepted")
+		}
+	}()
+	VertexCoverFromMatching(g, m)
+}
+
+func TestIsVertexCover(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if !IsVertexCover(g, []int32{1}) {
+		t.Error("center of P3 is a cover")
+	}
+	if IsVertexCover(g, []int32{0}) {
+		t.Error("leaf alone is not a cover")
+	}
+	if !IsVertexCover(graph.Empty(3), nil) {
+		t.Error("empty cover covers the empty graph")
+	}
+}

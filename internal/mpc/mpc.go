@@ -1,0 +1,151 @@
+// Package mpc implements the massively-parallel-computation instantiation
+// of the matching sparsifier. Section 3 of the paper notes the construction
+// applies to "computational models where there are local or global memory
+// constraints, such as the massively parallel computation (MPC) model";
+// this package simulates that application with explicit per-machine memory
+// and communication accounting.
+//
+// The input edges are partitioned across M machines. Each vertex must end
+// up with a uniform Δ-subset of its incident edges, chosen independently of
+// other vertices (the distribution Theorem 2.1 analyzes). This is achieved
+// with the tagging trick in two rounds:
+//
+//	round 1: every machine assigns each local (vertex, incident edge) pair
+//	         a deterministic pseudo-random tag and sends, per vertex, only
+//	         its Δ smallest-tagged candidates to the vertex's owner
+//	         machine. (The global Δ smallest are among every machine's
+//	         local Δ smallest, so this loses nothing.)
+//	round 2: owners keep the Δ smallest tags per owned vertex and forward
+//	         the selected edges to the coordinator, which assembles G_Δ.
+//
+// Per-vertex tags are i.i.d. across that vertex's incident edges, so the
+// selected Δ-subset is uniform; different vertices use disjoint tag streams,
+// so their choices are independent — exactly the sparsifier distribution.
+// After the two rounds the whole problem fits in one machine's memory
+// (O(n·Δ) words instead of m), where any sequential matcher finishes the
+// job — the randomized-composable-coreset pattern of Assadi et al. that
+// the paper's introduction cites.
+package mpc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Stats reports the simulated cluster's cost profile, all in words.
+type Stats struct {
+	Machines     int
+	Rounds       int
+	MaxInputLoad int64 // largest initial edge partition on one machine
+	MaxSent      int64 // largest per-machine words sent in any round
+	MaxReceived  int64 // largest per-machine words received in any round
+	Coordinator  int64 // words held by the coordinator at the end
+}
+
+// SparsifyMPC builds G_Δ of g on a simulated MPC cluster with the given
+// number of machines. It returns the sparsifier and the cost statistics.
+func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Static, Stats) {
+	if machines < 1 || delta < 1 {
+		panic(fmt.Sprintf("mpc: bad parameters machines=%d delta=%d", machines, delta))
+	}
+	stats := Stats{Machines: machines, Rounds: 2}
+
+	// Input partition: edges are hashed across machines.
+	parts := make([][]graph.Edge, machines)
+	g.ForEachEdge(func(u, v int32) {
+		h := int(mix(seed, uint64(u)<<32|uint64(uint32(v))) % uint64(machines))
+		parts[h] = append(parts[h], graph.Edge{U: u, V: v})
+	})
+	for _, p := range parts {
+		if int64(len(p)) > stats.MaxInputLoad {
+			stats.MaxInputLoad = int64(len(p))
+		}
+	}
+
+	// Round 1: local candidate selection. candidate = (vertex, edge, tag).
+	type cand struct {
+		v   int32
+		e   graph.Edge
+		tag uint64
+	}
+	owner := func(v int32) int { return int(v) % machines }
+	inbox := make([][]cand, machines) // received by owner machines
+	recv1 := make([]int64, machines)
+	for mi, p := range parts {
+		// Group local edges by endpoint.
+		local := make(map[int32][]cand)
+		for _, e := range p {
+			local[e.U] = append(local[e.U], cand{v: e.U, e: e, tag: tagFor(seed, e.U, e)})
+			local[e.V] = append(local[e.V], cand{v: e.V, e: e, tag: tagFor(seed, e.V, e)})
+		}
+		sent := int64(0)
+		for v, cs := range local {
+			sort.Slice(cs, func(a, b int) bool { return cs[a].tag < cs[b].tag })
+			if len(cs) > delta {
+				cs = cs[:delta]
+			}
+			o := owner(v)
+			inbox[o] = append(inbox[o], cs...)
+			sent += int64(len(cs))
+			recv1[o] += int64(len(cs))
+		}
+		if sent > stats.MaxSent {
+			stats.MaxSent = sent
+		}
+		_ = mi
+	}
+	for _, r := range recv1 {
+		if r > stats.MaxReceived {
+			stats.MaxReceived = r
+		}
+	}
+
+	// Round 2: owners pick the Δ globally smallest tags per owned vertex
+	// and forward the selected edges to the coordinator.
+	b := graph.NewBuilder(g.N())
+	coord := int64(0)
+	for mi := 0; mi < machines; mi++ {
+		byVertex := make(map[int32][]cand)
+		for _, c := range inbox[mi] {
+			byVertex[c.v] = append(byVertex[c.v], c)
+		}
+		sent := int64(0)
+		for _, cs := range byVertex {
+			sort.Slice(cs, func(a, b int) bool { return cs[a].tag < cs[b].tag })
+			keep := cs
+			if len(keep) > delta {
+				keep = keep[:delta]
+			}
+			for _, c := range keep {
+				b.AddEdge(c.e.U, c.e.V)
+			}
+			sent += int64(len(keep))
+		}
+		coord += sent
+		if sent > stats.MaxSent {
+			stats.MaxSent = sent
+		}
+	}
+	stats.Coordinator = coord
+	return b.Build(), stats
+}
+
+// tagFor derives the i.i.d. uniform tag of edge e in vertex v's private tag
+// stream. Both endpoints of an edge draw DIFFERENT tags (the pair (v, e)
+// seeds the hash), so each vertex's reservoir is independent.
+func tagFor(seed uint64, v int32, e graph.Edge) uint64 {
+	return mix(seed^uint64(uint32(v))<<1, uint64(uint32(e.U))<<32|uint64(uint32(e.V)))
+}
+
+// mix is splitmix64-style hashing.
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

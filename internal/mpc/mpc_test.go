@@ -1,0 +1,115 @@
+package mpc
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matching"
+)
+
+func TestSparsifyMPCValidation(t *testing.T) {
+	g := gen.Path(3)
+	for _, fn := range []func(){
+		func() { SparsifyMPC(g, 0, 2, 1) },
+		func() { SparsifyMPC(g, 2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMPCSubgraphAndDegreeMarks(t *testing.T) {
+	g := gen.Clique(120)
+	const delta = 4
+	sp, stats := SparsifyMPC(g, delta, 8, 7)
+	sp.ForEachEdge(func(u, v int32) {
+		if !g.HasEdge(u, v) {
+			t.Fatalf("MPC sparsifier edge (%d,%d) not in G", u, v)
+		}
+	})
+	// Every vertex selects exactly Δ edges in a clique, so degrees ≥ Δ and
+	// the total size is ≤ nΔ.
+	if sp.M() > 120*delta {
+		t.Errorf("size %d > nΔ", sp.M())
+	}
+	for v := int32(0); v < 120; v++ {
+		if sp.Degree(v) < delta {
+			t.Errorf("vertex %d degree %d < Δ", v, sp.Degree(v))
+		}
+	}
+	if stats.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", stats.Rounds)
+	}
+}
+
+func TestMPCLowDegreeKeepsAll(t *testing.T) {
+	g := gen.Cycle(30)
+	sp, _ := SparsifyMPC(g, 3, 4, 3)
+	if sp.M() != g.M() {
+		t.Errorf("low-degree graph: kept %d of %d", sp.M(), g.M())
+	}
+}
+
+func TestMPCMachineCountInvariance(t *testing.T) {
+	// The selected sparsifier is a deterministic function of the tags, so
+	// it must be identical for any machine count.
+	g := gen.Clique(80)
+	a, _ := SparsifyMPC(g, 3, 1, 11)
+	b, _ := SparsifyMPC(g, 3, 16, 11)
+	if a.M() != b.M() {
+		t.Fatalf("machine count changed the sparsifier: %d vs %d edges", a.M(), b.M())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestMPCQuality(t *testing.T) {
+	inst := gen.BoundedDiversityInstance(300, 2, 48, 5)
+	exact := matching.MaximumGeneral(inst.G).Size()
+	sp, _ := SparsifyMPC(inst.G, 8, 8, 13)
+	got := matching.MaximumGeneral(sp).Size()
+	if float64(exact) > 1.3*float64(got) {
+		t.Errorf("MPC sparsifier preserved %d of %d", got, exact)
+	}
+}
+
+func TestMPCLoadBalanceAndCoordinator(t *testing.T) {
+	g := gen.Clique(300) // m = 44850
+	const delta, machines = 4, 16
+	_, stats := SparsifyMPC(g, delta, machines, 17)
+	// Input partition balanced within 2x of m/machines.
+	if stats.MaxInputLoad > 2*int64(g.M())/machines {
+		t.Errorf("input load %d too skewed (m/M = %d)", stats.MaxInputLoad, g.M()/machines)
+	}
+	// Coordinator holds the sparsifier: O(nΔ) words, far below m.
+	if stats.Coordinator > int64(2*300*delta) {
+		t.Errorf("coordinator memory %d exceeds 2nΔ", stats.Coordinator)
+	}
+	if stats.Coordinator >= int64(g.M()) {
+		t.Errorf("coordinator memory %d not sublinear in m=%d", stats.Coordinator, g.M())
+	}
+	// Round-1 communication per machine is bounded by its candidates,
+	// at most 2 per local edge.
+	if stats.MaxSent > 2*stats.MaxInputLoad+int64(300*delta) {
+		t.Errorf("sent %d exceeds candidate bound", stats.MaxSent)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	if mix(1, 2) != mix(1, 2) {
+		t.Error("mix not deterministic")
+	}
+	if mix(1, 2) == mix(2, 1) {
+		t.Error("mix suspiciously symmetric")
+	}
+}

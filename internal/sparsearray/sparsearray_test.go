@@ -1,0 +1,179 @@
+package sparsearray
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefaults(t *testing.T) {
+	a := New(5, -1)
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", a.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if got := a.Get(i); got != -1 {
+			t.Errorf("Get(%d) = %d, want -1", i, got)
+		}
+		if a.Live(i) {
+			t.Errorf("Live(%d) = true before any Set", i)
+		}
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	a := New(4, 0)
+	a.Set(2, 42)
+	if got := a.Get(2); got != 42 {
+		t.Errorf("Get(2) = %d, want 42", got)
+	}
+	if got := a.Get(1); got != 0 {
+		t.Errorf("Get(1) = %d, want default 0", got)
+	}
+	if !a.Live(2) || a.Live(1) {
+		t.Errorf("Live(2)=%v Live(1)=%v, want true,false", a.Live(2), a.Live(1))
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(3, 7)
+	a.Set(0, 1)
+	a.Set(1, 2)
+	a.Set(2, 3)
+	a.Reset()
+	for i := 0; i < 3; i++ {
+		if got := a.Get(i); got != 7 {
+			t.Errorf("after Reset Get(%d) = %d, want 7", i, got)
+		}
+		if a.Live(i) {
+			t.Errorf("after Reset Live(%d) = true", i)
+		}
+	}
+	a.Set(1, 99)
+	if got := a.Get(1); got != 99 {
+		t.Errorf("Set after Reset: Get(1) = %d, want 99", got)
+	}
+}
+
+func TestResetTo(t *testing.T) {
+	a := New(3, 0)
+	a.Set(0, 5)
+	a.ResetTo(11)
+	for i := 0; i < 3; i++ {
+		if got := a.Get(i); got != 11 {
+			t.Errorf("after ResetTo(11) Get(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	a := New(0, "x")
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", a.Len())
+	}
+	a.Reset() // must not panic
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1, 0)
+}
+
+func TestGenerationWrap(t *testing.T) {
+	a := New(2, 0)
+	a.Set(0, 1)
+	a.gen = ^uint64(0) // force the wrap path on next Reset
+	a.Reset()
+	if a.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", a.gen)
+	}
+	if a.Live(0) || a.Live(1) {
+		t.Fatal("slots live after wrap Reset")
+	}
+	if got := a.Get(0); got != 0 {
+		t.Fatalf("Get(0) after wrap = %d, want default 0", got)
+	}
+	a.Set(1, 9)
+	if got := a.Get(1); got != 9 {
+		t.Fatalf("Set/Get after wrap = %d, want 9", got)
+	}
+}
+
+func TestStringValues(t *testing.T) {
+	a := New(2, "empty")
+	a.Set(0, "hello")
+	if a.Get(0) != "hello" || a.Get(1) != "empty" {
+		t.Errorf("string values: got %q,%q", a.Get(0), a.Get(1))
+	}
+}
+
+// TestQuickAgainstReference drives a random op sequence against a plain-map
+// reference model, resetting occasionally.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		const n = 33
+		rng := rand.New(rand.NewPCG(seed, 0))
+		a := New(n, -7)
+		ref := make(map[int]int)
+		for _, op := range opsRaw {
+			i := rng.IntN(n)
+			switch op % 3 {
+			case 0:
+				v := rng.IntN(1000)
+				a.Set(i, v)
+				ref[i] = v
+			case 1:
+				want, ok := ref[i]
+				if !ok {
+					want = -7
+				}
+				if a.Get(i) != want {
+					return false
+				}
+				if a.Live(i) != ok {
+					return false
+				}
+			case 2:
+				if op%17 == 2 { // reset rarely
+					a.Reset()
+					ref = make(map[int]int)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			want, ok := ref[i]
+			if !ok {
+				want = -7
+			}
+			if a.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkResetVsClear(b *testing.B) {
+	const n = 1 << 16
+	a := New(n, 0)
+	b.Run("SparseReset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Set(i%n, i)
+			a.Reset()
+		}
+	})
+	b.Run("FullClear", func(b *testing.B) {
+		s := make([]int, n)
+		for i := 0; i < b.N; i++ {
+			s[i%n] = i
+			clear(s)
+		}
+	})
+}

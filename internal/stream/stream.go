@@ -1,0 +1,121 @@
+// Package stream implements the semi-streaming instantiation of the
+// matching sparsifier. Section 3 of the paper notes that the construction
+// "can be used more broadly in computational models where there are local
+// or global memory constraints, such as ... the streaming model of
+// computation": because each vertex keeps Δ uniform incident edges, a
+// single pass of per-vertex reservoir sampling over the edge stream builds
+// G_Δ in O(n·Δ·log n) bits of memory — far below the Ω(m) needed to store
+// dense bounded-β graphs — after which any offline matching algorithm runs
+// on the in-memory sparsifier.
+//
+// The sampler is order-oblivious: whatever the stream order (including
+// adversarial), each vertex's reservoir is a uniform Δ-subset of its
+// incident edges, which is exactly the distribution Theorem 2.1 analyzes.
+// (The marks of two adjacent vertices are independent because each vertex
+// samples from its own independent randomness.)
+package stream
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// Sparsifier consumes a stream of edges and maintains, for every vertex, a
+// uniform reservoir of up to Δ incident edges. Memory is O(n·Δ) words
+// regardless of the stream length.
+type Sparsifier struct {
+	delta     int
+	reservoir [][]graph.Edge // per-vertex reservoir, ≤ delta entries
+	degree    []int64        // edges seen incident on each vertex
+	edges     int64          // stream length so far
+	rng       *rand.Rand
+}
+
+// NewSparsifier creates a streaming sparsifier for n vertices with
+// per-vertex reservoir capacity delta.
+func NewSparsifier(n, delta int, seed uint64) *Sparsifier {
+	if n < 0 || delta < 1 {
+		panic(fmt.Sprintf("stream: bad parameters n=%d delta=%d", n, delta))
+	}
+	return &Sparsifier{
+		delta:     delta,
+		reservoir: make([][]graph.Edge, n),
+		degree:    make([]int64, n),
+		rng:       rand.New(rand.NewPCG(seed, 0x57eea)),
+	}
+}
+
+// Push consumes one stream edge. Self-loops are ignored; the caller may
+// push duplicates (they count as parallel edges in the reservoir
+// distribution, matching the multigraph semantics of streamed inputs).
+func (s *Sparsifier) Push(u, v int32) {
+	if u == v {
+		return
+	}
+	s.edges++
+	s.offer(u, graph.Edge{U: u, V: v}.Canonical())
+	s.offer(v, graph.Edge{U: u, V: v}.Canonical())
+}
+
+// offer runs one reservoir-sampling step for vertex x.
+func (s *Sparsifier) offer(x int32, e graph.Edge) {
+	s.degree[x]++
+	r := s.reservoir[x]
+	if len(r) < s.delta {
+		s.reservoir[x] = append(r, e)
+		return
+	}
+	// Classic reservoir rule: keep the newcomer with prob delta/degree,
+	// evicting a uniform resident.
+	if j := s.rng.Int64N(s.degree[x]); j < int64(s.delta) {
+		r[j] = e
+	}
+}
+
+// Edges returns the number of stream edges consumed.
+func (s *Sparsifier) Edges() int64 { return s.edges }
+
+// MemoryWords returns the current memory footprint in words (reservoir
+// entries plus per-vertex counters) — the quantity the semi-streaming
+// model bounds.
+func (s *Sparsifier) MemoryWords() int64 {
+	words := int64(2 * len(s.degree)) // degree counters + slice headers
+	for _, r := range s.reservoir {
+		words += int64(len(r)) // one packed edge per entry
+	}
+	return words
+}
+
+// Sparsifier materializes G_Δ from the current reservoirs.
+func (s *Sparsifier) Sparsifier() *graph.Static {
+	b := graph.NewBuilder(len(s.reservoir))
+	for _, r := range s.reservoir {
+		for _, e := range r {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+// SparsifyStream is the one-shot convenience: it streams the edges of g in
+// the given order (a permutation of 0..m-1, or nil for canonical order)
+// and returns the sparsifier plus the peak memory in words.
+func SparsifyStream(g *graph.Static, delta int, order []int, seed uint64) (*graph.Static, int64) {
+	edges := g.Edges()
+	s := NewSparsifier(g.N(), delta, seed)
+	if order == nil {
+		for _, e := range edges {
+			s.Push(e.U, e.V)
+		}
+	} else {
+		if len(order) != len(edges) {
+			panic(fmt.Sprintf("stream: order has %d entries for %d edges", len(order), len(edges)))
+		}
+		for _, i := range order {
+			s.Push(edges[i].U, edges[i].V)
+		}
+	}
+	return s.Sparsifier(), s.MemoryWords()
+}

@@ -1,0 +1,89 @@
+// Package trace provides a replayable text format for dynamic-graph update
+// sequences, so dynamic-matching workloads can be generated once, stored,
+// and replayed against any of the maintainers (cmd/dyndrive).
+//
+// Format (whitespace-separated, one update per line):
+//
+//	# comments
+//	n <vertices>
+//	+ <u> <v>    insertion
+//	- <u> <v>    deletion
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dynmatch"
+)
+
+// Trace is an update sequence over a fixed vertex set.
+type Trace struct {
+	N       int
+	Updates []dynmatch.Update
+}
+
+// Write encodes the trace.
+func Write(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", tr.N); err != nil {
+		return err
+	}
+	for _, u := range tr.Updates {
+		op := "-"
+		if u.Insert {
+			op = "+"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", op, u.U, u.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace, validating vertex ranges.
+func Read(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var tr Trace
+	seenHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !seenHeader {
+			if _, err := fmt.Sscanf(text, "n %d", &tr.N); err != nil {
+				return Trace{}, fmt.Errorf("trace: line %d: bad header %q: %w", line, text, err)
+			}
+			if tr.N < 0 {
+				return Trace{}, fmt.Errorf("trace: line %d: negative vertex count", line)
+			}
+			seenHeader = true
+			continue
+		}
+		var op string
+		var u, v int32
+		if _, err := fmt.Sscanf(text, "%1s %d %d", &op, &u, &v); err != nil {
+			return Trace{}, fmt.Errorf("trace: line %d: bad update %q: %w", line, text, err)
+		}
+		if op != "+" && op != "-" {
+			return Trace{}, fmt.Errorf("trace: line %d: bad op %q", line, op)
+		}
+		if u < 0 || v < 0 || int(u) >= tr.N || int(v) >= tr.N {
+			return Trace{}, fmt.Errorf("trace: line %d: update (%d,%d) out of range", line, u, v)
+		}
+		tr.Updates = append(tr.Updates, dynmatch.Update{Insert: op == "+", U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	if !seenHeader {
+		return Trace{}, fmt.Errorf("trace: empty input")
+	}
+	return tr, nil
+}

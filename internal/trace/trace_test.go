@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dynmatch"
+	"repro/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := gen.Clique(8)
+	tr := Trace{N: 8, Updates: dynmatch.BuildUpdates(g, 1)}
+	tr.Updates = append(tr.Updates, dynmatch.ObliviousChurn(g, 5, 2)...)
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != tr.N || len(got.Updates) != len(tr.Updates) {
+		t.Fatalf("round trip: N=%d len=%d", got.N, len(got.Updates))
+	}
+	for i := range got.Updates {
+		if got.Updates[i] != tr.Updates[i] {
+			t.Fatalf("update %d differs: %+v vs %+v", i, got.Updates[i], tr.Updates[i])
+		}
+	}
+}
+
+func TestReadCommentsAndErrors(t *testing.T) {
+	ok := "# churn trace\nn 4\n+ 0 1\n- 0 1\n"
+	tr, err := Read(strings.NewReader(ok))
+	if err != nil || len(tr.Updates) != 2 || !tr.Updates[0].Insert || tr.Updates[1].Insert {
+		t.Fatalf("good trace rejected: %v %+v", err, tr)
+	}
+	for name, bad := range map[string]string{
+		"empty":      "",
+		"no header":  "+ 0 1\n",
+		"neg n":      "n -2\n",
+		"bad op":     "n 3\n* 0 1\n",
+		"bad fields": "n 3\n+ x y\n",
+		"range":      "n 3\n+ 0 9\n",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: accepted %q", name, bad)
+		}
+	}
+}
+
+func TestReplayOnMaintainer(t *testing.T) {
+	g := gen.BoundedDiversity(40, 2, 8, 3)
+	tr := Trace{N: 40, Updates: dynmatch.BuildUpdates(g, 4)}
+	mt := dynmatch.New(tr.N, dynmatch.Options{Beta: 2, Eps: 0.4}, 5)
+	for _, u := range tr.Updates {
+		u.Apply(mt)
+	}
+	if mt.Graph().M() != g.M() {
+		t.Errorf("replay produced %d edges, want %d", mt.Graph().M(), g.M())
+	}
+}
