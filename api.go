@@ -120,6 +120,13 @@ func NewStreamingSparsifier(n, delta int, seed uint64) *StreamingSparsifier {
 	return stream.NewSparsifier(n, delta, seed)
 }
 
+// NewStreamingSparsifierFor is NewStreamingSparsifier with the reservoir
+// capacity Δ resolved from (β, ε) by the unified parameter resolution
+// (Theorem 2.1 calibration, internal/params).
+func NewStreamingSparsifierFor(n, beta int, eps float64, seed uint64) *StreamingSparsifier {
+	return stream.NewSparsifierFor(n, beta, eps, seed)
+}
+
 // MPCStats reports the simulated MPC cluster's per-machine loads.
 type MPCStats = mpc.Stats
 
@@ -128,6 +135,12 @@ type MPCStats = mpc.Stats
 // O(nΔ)-edge sparsifier.
 func SparsifyMPC(g *Graph, delta, machines int, seed uint64) (*Graph, MPCStats) {
 	return mpc.SparsifyMPC(g, delta, machines, seed)
+}
+
+// SparsifyMPCFor is SparsifyMPC with Δ resolved from (β, ε) by the unified
+// parameter resolution (Theorem 2.1 calibration, internal/params).
+func SparsifyMPCFor(g *Graph, beta int, eps float64, machines int, seed uint64) (*Graph, MPCStats) {
+	return mpc.SparsifyMPCFor(g, beta, eps, machines, seed)
 }
 
 // DynDistNetwork maintains the sparsifier and a maximal matching on it in a
@@ -139,4 +152,11 @@ type DynDistNetwork = dyndist.Network
 // with per-vertex mark capacity delta.
 func NewDynDistNetwork(n, delta int, seed uint64) *DynDistNetwork {
 	return dyndist.NewNetwork(n, delta, seed)
+}
+
+// NewDynDistNetworkFor is NewDynDistNetwork with the mark capacity Δ
+// resolved from (β, ε) by the unified parameter resolution (Theorem 2.1
+// calibration, internal/params).
+func NewDynDistNetworkFor(n, beta int, eps float64, seed uint64) *DynDistNetwork {
+	return dyndist.NewNetworkFor(n, beta, eps, seed)
 }

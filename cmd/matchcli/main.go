@@ -19,6 +19,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("params: beta=%d eps=%v -> delta=%d (auglen=%d)\n",
+		*beta, *eps, params.Delta(*beta, *eps), params.AugLen(*eps))
 
 	matchers, err := cli.Matchers(*algo)
 	if err != nil {

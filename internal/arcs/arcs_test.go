@@ -1,0 +1,109 @@
+package arcs
+
+import "testing"
+
+func TestPackUnpack(t *testing.T) {
+	cases := []struct{ u, v, wantU, wantV int32 }{
+		{0, 1, 0, 1},
+		{1, 0, 0, 1},
+		{5, 5, 5, 5},
+		{1 << 30, 3, 3, 1 << 30},
+		{2147483646, 2147483647, 2147483646, 2147483647},
+	}
+	for _, c := range cases {
+		u, v := Unpack(Pack(c.u, c.v))
+		if u != c.wantU || v != c.wantV {
+			t.Errorf("Pack(%d,%d) round-trips to (%d,%d), want (%d,%d)", c.u, c.v, u, v, c.wantU, c.wantV)
+		}
+	}
+}
+
+func TestPackOrdersAsMinMax(t *testing.T) {
+	// Packed arcs must sort lexicographically as (min, max) pairs.
+	if Pack(0, 5) >= Pack(1, 2) {
+		t.Error("arcs of smaller min endpoint must sort first")
+	}
+	if Pack(3, 4) >= Pack(3, 7) {
+		t.Error("equal min endpoint must tie-break on max endpoint")
+	}
+}
+
+func TestBufferAddSkipsSelfLoops(t *testing.T) {
+	var b Buffer
+	b.Add(2, 2)
+	b.Add(3, 1)
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (self-loop skipped)", b.Len())
+	}
+	if u, v := Unpack(b.Keys()[0]); u != 1 || v != 3 {
+		t.Errorf("stored arc (%d,%d), want canonical (1,3)", u, v)
+	}
+}
+
+func TestBufferGrowAndReset(t *testing.T) {
+	var b Buffer
+	b.Grow(100)
+	if cap(b.keys) < 100 {
+		t.Fatalf("cap = %d after Grow(100)", cap(b.keys))
+	}
+	b.Add(0, 1)
+	before := cap(b.keys)
+	b.Reset()
+	if b.Len() != 0 || cap(b.keys) != before {
+		t.Errorf("Reset must empty the buffer but keep capacity: len=%d cap=%d", b.Len(), cap(b.keys))
+	}
+}
+
+func TestPoolRecyclesCleanBuffers(t *testing.T) {
+	b := Get()
+	b.Add(1, 2)
+	b.Release()
+	// Whatever Get returns next (pooled or fresh) must be empty.
+	for i := 0; i < 4; i++ {
+		c := Get()
+		if c.Len() != 0 {
+			t.Fatalf("pooled buffer not cleared: len=%d", c.Len())
+		}
+		c.Release()
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b := Get(), Get()
+	defer a.Release()
+	defer b.Release()
+	a.Add(0, 1)
+	a.Add(2, 3)
+	b.Add(4, 5)
+	keys := Concat(a, nil, b, nil)
+	if len(keys) != 3 {
+		t.Fatalf("Concat len = %d, want 3", len(keys))
+	}
+	want := []uint64{Pack(0, 1), Pack(2, 3), Pack(4, 5)}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Errorf("Concat[%d] = %#x, want %#x", i, k, want[i])
+		}
+	}
+	// The result must be fresh storage, not an alias of a part.
+	keys[0] = Pack(9, 10)
+	if a.Keys()[0] != Pack(0, 1) {
+		t.Error("Concat result aliases a source buffer")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []uint64{Pack(0, 1), Pack(1, 2)}
+	if err := Validate(good, 3); err != nil {
+		t.Errorf("valid keys rejected: %v", err)
+	}
+	if err := Validate([]uint64{uint64(2)<<32 | 1}, 3); err == nil {
+		t.Error("non-canonical (2,1) accepted")
+	}
+	if err := Validate([]uint64{uint64(1)<<32 | 1}, 3); err == nil {
+		t.Error("self-loop (1,1) accepted")
+	}
+	if err := Validate([]uint64{Pack(0, 5)}, 3); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 // MakeGraph builds a graph of the named family with roughly n vertices and
@@ -78,11 +79,11 @@ func Matchers(algo string) ([]Matcher, error) {
 		return matching.Greedy(g)
 	}}
 	approx := Matcher{"approx", func(g *graph.Static, beta int, eps float64, seed uint64) *matching.Matching {
-		sp := core.Sparsify(g, core.DeltaLean(beta, eps), seed)
+		sp := core.Sparsify(g, params.Delta(beta, eps), seed)
 		return matching.ApproxGeneral(sp, eps, seed+1)
 	}}
 	phases := Matcher{"phases", func(g *graph.Static, beta int, eps float64, seed uint64) *matching.Matching {
-		sp := core.Sparsify(g, core.DeltaLean(beta, eps), seed)
+		sp := core.Sparsify(g, params.Delta(beta, eps), seed)
 		return matching.PhaseStructuredApprox(sp, eps, seed+1)
 	}}
 	exact := Matcher{"exact", func(g *graph.Static, _ int, _ float64, _ uint64) *matching.Matching {

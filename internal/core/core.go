@@ -14,34 +14,23 @@
 package core
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/params"
 )
 
 // DeltaFor returns the per-vertex mark count Δ used in the proof of
 // Claim 2.7: Δ = ⌈20·(β/ε)·ln(24/ε)⌉. This is the value for which the
 // (1+ε) guarantee of Theorem 2.1 is proved; it is deliberately conservative.
-func DeltaFor(beta int, eps float64) int {
-	checkParams(beta, eps)
-	return int(math.Ceil(20 * float64(beta) / eps * math.Log(24/eps)))
-}
+// The formula lives in internal/params (the single source of parameter
+// resolution); this is the core-facing name.
+func DeltaFor(beta int, eps float64) int { return params.DeltaProof(beta, eps) }
 
 // DeltaLean returns a lean Δ = ⌈(β/ε)·ln(24/ε)⌉ with the proof's constant 20
 // dropped. Experiments (T1, F2) show the sparsifier quality transition
 // happens near this value; it is the practical default of the library.
-func DeltaLean(beta int, eps float64) int {
-	checkParams(beta, eps)
-	return int(math.Ceil(float64(beta) / eps * math.Log(24/eps)))
-}
-
-func checkParams(beta int, eps float64) {
-	if beta < 1 {
-		panic(fmt.Sprintf("core: beta must be >= 1, got %d", beta))
-	}
-	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("core: eps must be in (0,1), got %v", eps))
-	}
-}
+// Delegates to params.Delta.
+func DeltaLean(beta int, eps float64) int { return params.Delta(beta, eps) }
 
 // BetaRegimeOK reports whether β is within the regime β = O(εn/log n)
 // required by Theorem 2.1, using the explicit form β ≤ εn/(2·log₂ n).

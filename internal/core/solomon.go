@@ -2,9 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/params"
 )
 
 // BoundedDegreeSparsifier implements the deterministic matching sparsifier
@@ -22,7 +23,7 @@ func BoundedDegreeSparsifier(g *graph.Static, deltaAlpha int) *graph.Static {
 	if deltaAlpha < 1 {
 		panic(fmt.Sprintf("core: deltaAlpha must be >= 1, got %d", deltaAlpha))
 	}
-	b := graph.NewBuilder(g.N())
+	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
 		d := min(g.Degree(v), deltaAlpha)
 		for i := 0; i < d; i++ {
@@ -35,11 +36,13 @@ func BoundedDegreeSparsifier(g *graph.Static, deltaAlpha int) *graph.Static {
 			// (smallest) neighbors; v is marked by w iff v's rank in w's
 			// list is below deltaAlpha.
 			if rank, ok := neighborRank(g, w, v); ok && rank < deltaAlpha {
-				b.AddEdge(v, w)
+				buf.Add(v, w)
 			}
 		}
 	}
-	return b.Build()
+	sp := graph.FromSortedArcs(g.N(), buf.Keys())
+	buf.Release()
+	return sp
 }
 
 // neighborRank returns the index of u in v's sorted adjacency list.
@@ -63,14 +66,9 @@ func neighborRank(g *graph.Static, v, u int32) (int, bool) {
 // DeltaAlphaFor returns the per-vertex mark count for the bounded-degree
 // sparsifier: ⌈5·α/ε⌉, the Θ(α/ε) of Solomon ITCS'18 with the constant
 // calibrated in experiment T7/T8 (quality stays within 1+ε across families).
+// Delegates to params.DeltaAlpha.
 func DeltaAlphaFor(arboricity int, eps float64) int {
-	if arboricity < 1 {
-		panic(fmt.Sprintf("core: arboricity must be >= 1, got %d", arboricity))
-	}
-	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("core: eps must be in (0,1), got %v", eps))
-	}
-	return int(math.Ceil(5 * float64(arboricity) / eps))
+	return params.DeltaAlpha(arboricity, eps)
 }
 
 // ComposedSparsifier builds the bounded-degree matching sparsifier G̃_Δ of

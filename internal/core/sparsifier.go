@@ -3,10 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/params"
 	"repro/internal/sparsearray"
 )
 
@@ -49,16 +50,24 @@ type Options struct {
 	// Workers shards the vertex set over this many goroutines, each with an
 	// independent RNG stream. Zero means GOMAXPROCS; 1 forces sequential
 	// construction (used by the deterministic-runtime experiments).
+	//
+	// For a fixed (seed, Workers) pair the output sparsifier is fully
+	// deterministic — each worker's RNG stream is keyed by its vertex range,
+	// not by goroutine scheduling — but changing the worker count changes
+	// how vertices map to streams and therefore which edges are marked.
 	Workers int
 }
 
+// withDefaults delegates the zero-value resolution to internal/params, the
+// single source of truth for the theorem-derived defaults.
 func (o Options) withDefaults() Options {
-	if o.MarkAllThreshold == 0 {
-		o.MarkAllThreshold = 2 * o.Delta
-	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	r := params.Sequential{
+		Delta:            o.Delta,
+		MarkAllThreshold: o.MarkAllThreshold,
+		Workers:          o.Workers,
+	}.Resolve()
+	o.MarkAllThreshold = r.MarkAllThreshold
+	o.Workers = r.Workers
 	return o
 }
 
@@ -72,6 +81,11 @@ func Sparsify(g *graph.Static, delta int, seed uint64) *graph.Static {
 }
 
 // SparsifyOpts builds G_Δ with explicit options.
+//
+// Marked edges are accumulated directly as packed arcs (internal/arcs) in
+// per-worker pooled buffers and handed to graph.FromPackedArcs, so the
+// construction performs a single integer sort and never materializes an
+// Edge-struct list.
 func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 	if opt.Delta < 1 {
 		panic(fmt.Sprintf("core: Delta must be >= 1, got %d", opt.Delta))
@@ -79,12 +93,15 @@ func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 	opt = opt.withDefaults()
 	n := g.N()
 	if opt.Workers <= 1 || n < 1024 {
-		edges := markRange(g, 0, int32(n), opt, seed, 0)
-		return graph.FromEdges(n, edges)
+		buf := arcs.Get()
+		markRange(g, 0, int32(n), opt, seed, 0, buf)
+		gd := graph.FromPackedArcs(n, buf.Keys())
+		buf.Release()
+		return gd
 	}
 	workers := opt.Workers
 	chunk := (n + workers - 1) / workers
-	parts := make([][]graph.Edge, workers)
+	parts := make([]*arcs.Buffer, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := int32(w * chunk)
@@ -92,28 +109,38 @@ func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 		if lo >= hi {
 			continue
 		}
+		parts[w] = arcs.Get()
 		wg.Add(1)
 		go func(w int, lo, hi int32) {
 			defer wg.Done()
-			parts[w] = markRange(g, lo, hi, opt, seed, uint64(w))
+			markRange(g, lo, hi, opt, seed, uint64(w), parts[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	var edges []graph.Edge
+	keys := arcs.Concat(parts...)
 	for _, p := range parts {
-		edges = append(edges, p...)
+		if p != nil {
+			p.Release()
+		}
 	}
-	return graph.FromEdges(n, edges)
+	return graph.FromPackedArcs(n, keys)
 }
 
-// markRange marks edges for vertices in [lo, hi) and returns them.
-// Each range gets an independent RNG stream keyed by (seed, stream), so the
-// random choices made "due to" different vertices are independent — the
-// property the proof of Theorem 2.1 relies on (Observation 2.9).
-func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64) []graph.Edge {
-	rng := rand.New(rand.NewPCG(seed, stream<<32|0x5bf0&0xffffffff|uint64(lo)))
-	est := int(hi-lo) * min(opt.Delta, 8)
-	edges := make([]graph.Edge, 0, est)
+// rngStream derives the PCG stream id of the worker covering vertices
+// [lo, hi): the worker index in the high 32 bits, the range start in the
+// low 32 bits, so distinct (stream, lo) chunks get distinct RNG streams.
+func rngStream(stream uint64, lo int32) uint64 {
+	return stream<<32 | uint64(uint32(lo))
+}
+
+// markRange marks edges for vertices in [lo, hi), appending them to buf as
+// packed arcs. Each range gets an independent RNG stream keyed by
+// (seed, stream), so the random choices made "due to" different vertices
+// are independent — the property the proof of Theorem 2.1 relies on
+// (Observation 2.9).
+func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64, buf *arcs.Buffer) {
+	rng := rand.New(rand.NewPCG(seed, rngStream(stream, lo)))
+	buf.Grow(int(hi-lo) * min(opt.Delta, 8))
 	var pos *sparsearray.Array[int32]
 	if opt.Method == MethodReadOnly {
 		pos = sparsearray.New[int32](g.MaxDegree(), -1)
@@ -130,13 +157,13 @@ func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64) 
 		if d <= opt.MarkAllThreshold {
 			// Low-degree tweak: mark the entire neighborhood.
 			for _, w := range g.Neighbors(v) {
-				edges = append(edges, graph.Edge{U: v, V: w}.Canonical())
+				buf.Add(v, w)
 			}
 			continue
 		}
 		switch opt.Method {
 		case MethodReadOnly:
-			edges = appendReadOnlyMarks(edges, g, v, opt.Delta, pos, rng)
+			appendReadOnlyMarks(buf, g, v, opt.Delta, pos, rng)
 		case MethodResample:
 			clear(seen)
 			for len(seen) < opt.Delta {
@@ -145,13 +172,12 @@ func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64) 
 					continue
 				}
 				seen[i] = true
-				edges = append(edges, graph.Edge{U: v, V: g.Neighbor(v, i)}.Canonical())
+				buf.Add(v, g.Neighbor(v, i))
 			}
 		default:
 			panic(fmt.Sprintf("core: unknown method %v", opt.Method))
 		}
 	}
-	return edges
 }
 
 // appendReadOnlyMarks samples delta distinct neighbor indices of v without
@@ -160,7 +186,7 @@ func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64) 
 // pos[i] not live means "entry i has not moved", i.e. it still holds the
 // i-th neighbor; otherwise pos[i] is the index of the neighbor currently
 // (virtually) stored at slot i. Resetting pos between vertices is O(1).
-func appendReadOnlyMarks(edges []graph.Edge, g *graph.Static, v int32, delta int, pos *sparsearray.Array[int32], rng *rand.Rand) []graph.Edge {
+func appendReadOnlyMarks(buf *arcs.Buffer, g *graph.Static, v int32, delta int, pos *sparsearray.Array[int32], rng *rand.Rand) {
 	pos.Reset()
 	d := g.Degree(v)
 	k := min(delta, d)
@@ -174,13 +200,12 @@ func appendReadOnlyMarks(edges []graph.Edge, g *graph.Static, v int32, delta int
 		tail := int32(d - t - 1)
 		i := int32(rng.IntN(d - t))
 		pi := slot(i)
-		edges = append(edges, graph.Edge{U: v, V: g.Neighbor(v, int(pi))}.Canonical())
+		buf.Add(v, g.Neighbor(v, int(pi)))
 		// Virtual swap: slot i takes the tail's entry; the tail slot takes
 		// pi so already-sampled entries stay out of the live prefix.
 		pos.Set(int(i), slot(tail))
 		pos.Set(int(tail), pi)
 	}
-	return edges
 }
 
 // SizeUpperBound returns the Observation 2.10 bound 2·mcm·(Δ+β) on the

@@ -1,11 +1,9 @@
 package dist
 
 import (
-	"math"
-
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 // PhaseStats breaks down the cost of the distributed pipeline per phase.
@@ -19,12 +17,14 @@ type PhaseStats struct {
 }
 
 // PipelineOptions tunes the distributed approximate-matching pipeline.
+// Zero-valued fields are resolved from (β, ε) by internal/params
+// (params.Pipeline.ResolveFor), the single source of the theorem defaults.
 type PipelineOptions struct {
 	// Delta is the per-vertex mark count of G_Δ; zero means
-	// core.DeltaLean(beta, eps).
+	// params.Delta(beta, eps).
 	Delta int
 	// DeltaAlpha is the degree bound of the composition; zero means
-	// core.DeltaAlphaFor(2·Delta, eps).
+	// params.DeltaAlpha(2·Delta, eps).
 	DeltaAlpha int
 	// AugIters is the number of augmentation iterations;
 	// zero means 8·DeltaAlpha.
@@ -47,19 +47,13 @@ type PipelineOptions struct {
 // the total message count is bounded by rounds × |E(G̃_Δ)| = rounds × O(nΔα)
 // — sublinear in m for dense graphs (Theorem 3.3).
 func ApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt PipelineOptions, seed uint64) (*matching.Matching, PhaseStats) {
-	if opt.Delta == 0 {
-		opt.Delta = core.DeltaLean(beta, eps)
-	}
-	if opt.DeltaAlpha == 0 {
-		opt.DeltaAlpha = core.DeltaAlphaFor(2*opt.Delta, eps)
-	}
-	if opt.AugIters == 0 {
-		opt.AugIters = 8 * opt.DeltaAlpha
-	}
-	if opt.AugLen == 0 {
-		k := int(math.Ceil(1 / eps))
-		opt.AugLen = min(2*k-1, 9)
-	}
+	r := params.Pipeline{
+		Delta:      opt.Delta,
+		DeltaAlpha: opt.DeltaAlpha,
+		AugIters:   opt.AugIters,
+		AugLen:     opt.AugLen,
+	}.ResolveFor(beta, eps)
+	opt = PipelineOptions(r)
 	var ps PhaseStats
 	gd, s1 := RunSparsifier(g, opt.Delta, seed)
 	ps.Sparsify = s1

@@ -3,6 +3,7 @@ package dist
 import (
 	"math/bits"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
 )
 
@@ -60,14 +61,16 @@ func RunSparsifier(g *graph.Static, delta int, seed uint64) (*graph.Static, Stat
 		return &sparsifierNode{delta: delta}
 	}, seed)
 	stats := nw.Run(4)
-	b := graph.NewBuilder(g.N())
+	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
 		node := nw.Prog(v).(*sparsifierNode)
 		for p := range node.ports {
-			b.AddEdge(v, g.Neighbor(v, p))
+			buf.Add(v, g.Neighbor(v, p))
 		}
 	}
-	return b.Build(), stats
+	sp := graph.FromPackedArcs(g.N(), buf.Keys())
+	buf.Release()
+	return sp, stats
 }
 
 // boundedDegreeNode implements the one-round construction of the Solomon
@@ -108,14 +111,16 @@ func RunBoundedDegree(g *graph.Static, deltaAlpha int, seed uint64) (*graph.Stat
 		return &boundedDegreeNode{deltaAlpha: deltaAlpha}
 	}, seed)
 	stats := nw.Run(4)
-	b := graph.NewBuilder(g.N())
+	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
 		node := nw.Prog(v).(*boundedDegreeNode)
 		for _, p := range node.kept {
-			b.AddEdge(v, g.Neighbor(v, p))
+			buf.Add(v, g.Neighbor(v, p))
 		}
 	}
-	return b.Build(), stats
+	sp := graph.FromPackedArcs(g.N(), buf.Keys())
+	buf.Release()
+	return sp, stats
 }
 
 // broadcastSparsifierNode constructs G_Δ under BROADCAST transmission:
@@ -174,14 +179,16 @@ func RunSparsifierBroadcast(g *graph.Static, delta int, seed uint64) (*graph.Sta
 		return &broadcastSparsifierNode{delta: delta}
 	}, seed)
 	stats := nw.Run(4)
-	b := graph.NewBuilder(g.N())
+	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
 		node := nw.Prog(v).(*broadcastSparsifierNode)
 		for p := range node.ports {
-			b.AddEdge(v, g.Neighbor(v, p))
+			buf.Add(v, g.Neighbor(v, p))
 		}
 	}
-	return b.Build(), stats
+	sp := graph.FromPackedArcs(g.N(), buf.Keys())
+	buf.Release()
+	return sp, stats
 }
 
 // idBits returns the message size ⌈log₂ n⌉ used to account for id/color

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 // Stats aggregates the cost profile of a dynamic distributed run.
@@ -35,9 +37,9 @@ type Stats struct {
 // dynamically changing network, with per-node memory O(Δ).
 type Network struct {
 	g     *graph.Dynamic
-	sp    *graph.Dynamic      // union of marks (each node knows its incident part)
-	marks [][]int32           // marks[v]: neighbors marked due to v (≤ max(Δ, 2Δ))
-	count map[graph.Edge]int8 // endpoints marking each edge
+	sp    *graph.Dynamic  // union of marks (each node knows its incident part)
+	marks [][]int32       // marks[v]: neighbors marked due to v (≤ max(Δ, 2Δ))
+	count map[uint64]int8 // endpoints marking each packed arc
 	mate  []int32
 	size  int
 	delta int
@@ -55,7 +57,7 @@ func NewNetwork(n, delta int, seed uint64) *Network {
 		g:     graph.NewDynamic(n),
 		sp:    graph.NewDynamic(n),
 		marks: make([][]int32, n),
-		count: make(map[graph.Edge]int8),
+		count: make(map[uint64]int8),
 		mate:  make([]int32, n),
 		delta: delta,
 		rng:   rand.New(rand.NewPCG(seed, 0xdd157)),
@@ -64,6 +66,12 @@ func NewNetwork(n, delta int, seed uint64) *Network {
 		nw.mate[i] = -1
 	}
 	return nw
+}
+
+// NewNetworkFor creates a dynamic distributed network with the mark
+// capacity Δ resolved from (β, ε) through internal/params (Theorem 2.1).
+func NewNetworkFor(n, beta int, eps float64, seed uint64) *Network {
+	return NewNetwork(n, params.Delta(beta, eps), seed)
 }
 
 // Matching returns a copy of the maintained matching.
@@ -234,13 +242,12 @@ func (nw *Network) markedBy(x, w int32) bool {
 }
 
 func (nw *Network) addMark(x, w int32) {
-	e := graph.Edge{U: x, V: w}.Canonical()
 	nw.marks[x] = append(nw.marks[x], w)
-	nw.count[e]++
-	if nw.sp.Insert(e.U, e.V) {
+	nw.count[arcs.Pack(x, w)]++
+	if nw.sp.Insert(x, w) {
 		// New sparsifier edge: opportunistically extend the matching.
-		if nw.mate[e.U] < 0 && nw.mate[e.V] < 0 {
-			nw.match(e.U, e.V)
+		if nw.mate[x] < 0 && nw.mate[w] < 0 {
+			nw.match(x, w)
 		}
 	}
 }
@@ -253,18 +260,18 @@ func (nw *Network) dropMarkAt(x int32, i int) int64 {
 	last := len(nw.marks[x]) - 1
 	nw.marks[x][i] = nw.marks[x][last]
 	nw.marks[x] = nw.marks[x][:last]
-	e := graph.Edge{U: x, V: w}.Canonical()
+	k := arcs.Pack(x, w)
 	msgs := int64(1)
-	if c := nw.count[e]; c <= 1 {
-		delete(nw.count, e)
-		nw.sp.Delete(e.U, e.V)
-		if nw.mate[e.U] == e.V {
-			nw.unmatch(e.U, e.V)
-			msgs += nw.rematch(e.U)
-			msgs += nw.rematch(e.V)
+	if c := nw.count[k]; c <= 1 {
+		delete(nw.count, k)
+		nw.sp.Delete(x, w)
+		if nw.mate[x] == w {
+			nw.unmatch(x, w)
+			msgs += nw.rematch(x)
+			msgs += nw.rematch(w)
 		}
 	} else {
-		nw.count[e] = c - 1
+		nw.count[k] = c - 1
 	}
 	return msgs
 }
@@ -308,21 +315,22 @@ func (nw *Network) MaxLocalWords() int64 {
 // consistency with mark counts, matching ⊆ sparsifier, involution, and
 // maximality on the sparsifier. For tests.
 func (nw *Network) Validate() error {
-	want := make(map[graph.Edge]int)
+	want := make(map[uint64]int)
 	for v := int32(0); v < int32(nw.g.N()); v++ {
 		for _, w := range nw.marks[v] {
 			if !nw.g.HasEdge(v, w) {
 				return fmt.Errorf("dyndist: mark (%d,%d) not a live edge", v, w)
 			}
-			want[graph.Edge{U: v, V: w}.Canonical()]++
+			want[arcs.Pack(v, w)]++
 		}
 	}
 	if len(want) != nw.sp.M() {
 		return fmt.Errorf("dyndist: %d marked edges but sparsifier has %d", len(want), nw.sp.M())
 	}
-	for e, c := range want {
-		if int(nw.count[e]) != c {
-			return fmt.Errorf("dyndist: count[%v] = %d, marks say %d", e, nw.count[e], c)
+	for k, c := range want {
+		if int(nw.count[k]) != c {
+			u, v := arcs.Unpack(k)
+			return fmt.Errorf("dyndist: count[(%d,%d)] = %d, marks say %d", u, v, nw.count[k], c)
 		}
 	}
 	matched := 0

@@ -1,15 +1,16 @@
 package dynmatch
 
 import (
-	"fmt"
-	"math"
 	"math/rand/v2"
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
-// Options configures a Maintainer.
+// Options configures a Maintainer. Zero-valued fields are resolved from
+// (Beta, Eps) by internal/params (params.Dynamic.ResolveFor), the single
+// source of the Theorem 3.5 defaults.
 type Options struct {
 	// Beta is the (assumed) neighborhood independence bound of every graph
 	// in the update sequence.
@@ -18,13 +19,26 @@ type Options struct {
 	// (1+O(ε))-approximate w.h.p.
 	Eps float64
 	// Delta overrides the per-vertex sample count; zero means
-	// ⌈(β/ε)·ln(24/ε)⌉ (the lean calibration of core.DeltaLean).
+	// ⌈(β/ε)·ln(24/ε)⌉ (the lean calibration of params.Delta).
 	Delta int
 	// Sweeps is the number of augmentation sweeps of the static pipeline;
 	// zero means 3.
 	Sweeps int
 	// MinBudget floors the per-update work budget; zero means 4·Δ/ε².
 	MinBudget int64
+}
+
+// resolve fills the zero-valued fields through internal/params and returns
+// the updated options plus the derived augmenting-path length bound.
+// It panics on invalid Beta or Eps.
+func (o Options) resolve() (Options, int) {
+	r := params.Dynamic{
+		Delta:     o.Delta,
+		Sweeps:    o.Sweeps,
+		MinBudget: o.MinBudget,
+	}.ResolveFor(o.Beta, o.Eps)
+	o.Delta, o.Sweeps, o.MinBudget = r.Delta, r.Sweeps, r.MinBudget
+	return o, r.MaxLen
 }
 
 // Metrics reports the cost profile of a Maintainer, in work units
@@ -56,36 +70,19 @@ type Maintainer struct {
 }
 
 // New creates a Maintainer over an initially empty graph on n vertices.
+// It panics on invalid opt.Beta or opt.Eps.
 func New(n int, opt Options, seed uint64) *Maintainer {
-	if opt.Beta < 1 {
-		panic(fmt.Sprintf("dynmatch: Beta must be >= 1, got %d", opt.Beta))
-	}
-	if opt.Eps <= 0 || opt.Eps >= 1 {
-		panic(fmt.Sprintf("dynmatch: Eps must be in (0,1), got %v", opt.Eps))
-	}
-	if opt.Sweeps == 0 {
-		opt.Sweeps = 3
-	}
-	delta := opt.Delta
-	if delta == 0 {
-		delta = int(math.Ceil(float64(opt.Beta) / opt.Eps * math.Log(24/opt.Eps)))
-	}
-	maxLen := 2*int(math.Ceil(1/opt.Eps)) - 1
-	minBudget := opt.MinBudget
-	if minBudget == 0 {
-		minBudget = int64(math.Ceil(4 * float64(delta) / (opt.Eps * opt.Eps)))
-	}
-	opt.MinBudget = minBudget
+	opt, maxLen := opt.resolve()
 	m := &Maintainer{
 		g:      graph.NewDynamic(n),
 		opt:    opt,
-		delta:  delta,
+		delta:  opt.Delta,
 		maxLen: maxLen,
-		budget: minBudget,
+		budget: opt.MinBudget,
 		out:    matching.NewMatching(n),
 		rng:    rand.New(rand.NewPCG(seed, 0xd1ce)),
 	}
-	m.bufs = newRunBuffers(n, delta)
+	m.bufs = newRunBuffers(n, m.delta)
 	m.run = newStaticRunBuf(m.g, m.delta, m.maxLen, m.opt.Sweeps, m.rng, m.bufs)
 	return m
 }

@@ -1,9 +1,9 @@
 package dynmatch
 
 import (
-	"math"
 	"math/rand/v2"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
 )
@@ -24,9 +24,9 @@ import (
 // Maintainer, whose fresh-randomness-per-window design is adaptive-safe.
 type ObliviousMaintainer struct {
 	g       *graph.Dynamic
-	sp      *graph.Dynamic      // the maintained sparsifier (union of marks)
-	marks   [][]int32           // marks[v] = neighbors marked due to v
-	count   map[graph.Edge]int8 // how many endpoints marked each edge (1 or 2)
+	sp      *graph.Dynamic  // the maintained sparsifier (union of marks)
+	marks   [][]int32       // marks[v] = neighbors marked due to v
+	count   map[uint64]int8 // endpoints marking each packed arc (1 or 2)
 	opt     Options
 	delta   int
 	maxLen  int
@@ -39,25 +39,16 @@ type ObliviousMaintainer struct {
 }
 
 // NewOblivious creates an ObliviousMaintainer over an empty graph.
+// It panics on invalid opt.Beta or opt.Eps.
 func NewOblivious(n int, opt Options, seed uint64) *ObliviousMaintainer {
-	if opt.Sweeps == 0 {
-		opt.Sweeps = 3
-	}
-	delta := opt.Delta
-	if delta == 0 {
-		delta = int(math.Ceil(float64(opt.Beta) / opt.Eps * math.Log(24/opt.Eps)))
-	}
-	maxLen := 2*int(math.Ceil(1/opt.Eps)) - 1
-	if opt.MinBudget == 0 {
-		opt.MinBudget = int64(math.Ceil(4 * float64(delta) / (opt.Eps * opt.Eps)))
-	}
+	opt, maxLen := opt.resolve()
 	m := &ObliviousMaintainer{
 		g:      graph.NewDynamic(n),
 		sp:     graph.NewDynamic(n),
 		marks:  make([][]int32, n),
-		count:  make(map[graph.Edge]int8),
+		count:  make(map[uint64]int8),
 		opt:    opt,
-		delta:  delta,
+		delta:  opt.Delta,
 		maxLen: maxLen,
 		budget: opt.MinBudget,
 		out:    matching.NewMatching(n),
@@ -66,8 +57,8 @@ func NewOblivious(n int, opt Options, seed uint64) *ObliviousMaintainer {
 	// The recompute run reads the maintained sparsifier; its own sampling
 	// stage degenerates to "take everything" because sparsifier degrees are
 	// already O(Δ).
-	m.bufs = newRunBuffers(n, delta)
-	m.run = newStaticRunBuf(m.sp, delta, maxLen, opt.Sweeps, m.rng, m.bufs)
+	m.bufs = newRunBuffers(n, m.delta)
+	m.run = newStaticRunBuf(m.sp, m.delta, maxLen, opt.Sweeps, m.rng, m.bufs)
 	return m
 }
 
@@ -119,16 +110,16 @@ func (mt *ObliviousMaintainer) Delete(u, v int32) bool {
 // (all of them if deg(v) ≤ 2Δ) — the O(Δ) sparsifier repair step.
 func (mt *ObliviousMaintainer) remark(v int32) {
 	for _, w := range mt.marks[v] {
-		e := graph.Edge{U: v, V: w}.Canonical()
-		if c := mt.count[e]; c <= 1 {
-			delete(mt.count, e)
-			if mt.sp.Delete(e.U, e.V) {
+		k := arcs.Pack(v, w)
+		if c := mt.count[k]; c <= 1 {
+			delete(mt.count, k)
+			if mt.sp.Delete(v, w) {
 				// The edge left the sparsifier entirely; it can no longer
 				// support the in-progress matching.
-				mt.run.removeEdge(e.U, e.V)
+				mt.run.removeEdge(v, w)
 			}
 		} else {
-			mt.count[e] = c - 1
+			mt.count[k] = c - 1
 		}
 	}
 	mt.marks[v] = mt.marks[v][:0]
@@ -137,9 +128,8 @@ func (mt *ObliviousMaintainer) remark(v int32) {
 		return
 	}
 	addMark := func(w int32) {
-		e := graph.Edge{U: v, V: w}.Canonical()
-		mt.count[e]++
-		mt.sp.Insert(e.U, e.V)
+		mt.count[arcs.Pack(v, w)]++
+		mt.sp.Insert(v, w)
 		mt.marks[v] = append(mt.marks[v], w)
 	}
 	if d <= 2*mt.delta {

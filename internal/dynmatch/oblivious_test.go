@@ -4,8 +4,8 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"repro/internal/arcs"
 	"repro/internal/gen"
-	"repro/internal/graph"
 	"repro/internal/matching"
 )
 
@@ -47,21 +47,22 @@ func TestObliviousSparsifierInvariants(t *testing.T) {
 		})
 	}
 	// Rebuild the expected sparsifier from the mark lists.
-	want := make(map[graph.Edge]int)
+	want := make(map[uint64]int)
 	for v := int32(0); v < 25; v++ {
 		if len(mt.marks[v]) > max(mt.delta, 2*mt.delta) {
 			t.Fatalf("vertex %d holds %d marks", v, len(mt.marks[v]))
 		}
 		for _, w := range mt.marks[v] {
-			want[graph.Edge{U: v, V: w}.Canonical()]++
+			want[arcs.Pack(v, w)]++
 		}
 	}
 	if len(want) != mt.sp.M() {
 		t.Fatalf("mark lists imply %d sparsifier edges, structure has %d", len(want), mt.sp.M())
 	}
-	for e, c := range want {
-		if int(mt.count[e]) != c {
-			t.Fatalf("edge %v count %d, marks say %d", e, mt.count[e], c)
+	for k, c := range want {
+		if int(mt.count[k]) != c {
+			u, v := arcs.Unpack(k)
+			t.Fatalf("edge (%d,%d) count %d, marks say %d", u, v, mt.count[k], c)
 		}
 	}
 }

@@ -1,0 +1,98 @@
+package graph_test
+
+// Benchmarks for the packed-arc construction path against the legacy
+// []Edge route. Both build the same CSR graph; the packed path skips the
+// Edge-struct intermediate and its re-pack, and FromSortedArcs additionally
+// sorts only the reversed orientations. Run with -benchmem: the headline
+// difference is allocated bytes per build.
+
+import (
+	"testing"
+
+	"repro/internal/arcs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// benchInputs materializes both representations of g's edge set up front so
+// the loops measure construction only.
+func benchInputs(g *graph.Static) ([]graph.Edge, []uint64) {
+	edges := g.Edges()
+	keys := make([]uint64, len(edges))
+	for i, e := range edges {
+		keys[i] = arcs.Pack(e.U, e.V)
+	}
+	return edges, keys
+}
+
+func benchmarkBuild(b *testing.B, g *graph.Static) {
+	edges, keys := benchInputs(g)
+	n := g.N()
+	b.Run("FromEdges", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sp := graph.FromEdges(n, edges); sp.M() != len(edges) {
+				b.Fatal("bad build")
+			}
+		}
+	})
+	b.Run("FromPackedArcs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sp := graph.FromPackedArcs(n, keys); sp.M() != len(edges) {
+				b.Fatal("bad build")
+			}
+		}
+	})
+	// Edges() emits keys already sorted as (min, max), so the sorted fast
+	// path applies directly.
+	b.Run("FromSortedArcs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sp := graph.FromSortedArcs(n, keys); sp.M() != len(edges) {
+				b.Fatal("bad build")
+			}
+		}
+	})
+}
+
+func BenchmarkBuildClique4096(b *testing.B) {
+	benchmarkBuild(b, gen.Clique(4096))
+}
+
+func BenchmarkBuildUnitDisk100k(b *testing.B) {
+	inst := gen.UnitDiskInstance(100000, 12, 1)
+	benchmarkBuild(b, inst.G)
+}
+
+// BenchmarkAccumulate measures the marking-side accumulation: the legacy
+// append-of-Edge-structs versus the pooled packed-arc buffer.
+func BenchmarkAccumulate(b *testing.B) {
+	inst := gen.UnitDiskInstance(100000, 12, 1)
+	edges, _ := benchInputs(inst.G)
+	b.Run("EdgeSlice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := make([]graph.Edge, 0)
+			for _, e := range edges {
+				acc = append(acc, e)
+			}
+			if len(acc) != len(edges) {
+				b.Fatal("bad accumulate")
+			}
+		}
+	})
+	b.Run("ArcsBuffer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := arcs.Get()
+			for _, e := range edges {
+				buf.Add(e.U, e.V)
+			}
+			if buf.Len() != len(edges) {
+				b.Fatal("bad accumulate")
+			}
+			buf.Release()
+		}
+	})
+}

@@ -173,9 +173,14 @@ func (g *Static) Validate() error {
 
 // Builder accumulates edges and produces a Static graph.
 // Duplicate edges and self-loops are silently dropped at Build time.
+//
+// Edges are stored as packed canonical uint64 arcs (smaller endpoint in the
+// high 32 bits) so Build sorts integers directly, with no Edge-struct
+// intermediate. Hot paths that already hold packed arcs (internal/arcs)
+// should bypass the Builder entirely via FromPackedArcs.
 type Builder struct {
-	n     int
-	edges []Edge
+	n    int
+	keys []uint64
 }
 
 // NewBuilder returns a Builder for a graph on n vertices (0..n-1).
@@ -195,7 +200,17 @@ func (b *Builder) AddEdge(u, v int32) {
 	if u == v {
 		return
 	}
-	b.edges = append(b.edges, Edge{u, v}.Canonical())
+	if u > v {
+		u, v = v, u
+	}
+	b.keys = append(b.keys, uint64(uint32(u))<<32|uint64(uint32(v)))
+}
+
+// AddPacked records an already-packed arc (as produced by arcs.Pack),
+// canonicalizing it if needed. Self-loops are ignored; it panics if an
+// endpoint is out of range.
+func (b *Builder) AddPacked(k uint64) {
+	b.AddEdge(int32(k>>32), int32(uint32(k)))
 }
 
 // Grow ensures the builder accommodates at least n vertices.
@@ -210,19 +225,8 @@ func (b *Builder) N() int { return b.n }
 
 // Build constructs the Static graph. The builder may be reused afterwards
 // (its recorded edges are not consumed).
-//
-// Edges are deduplicated and adjacency lists sorted by packing each
-// directed arc into a uint64 and sorting integers — substantially faster
-// than comparator-based sorting, which matters because sparsifier
-// construction is dominated by this step.
 func (b *Builder) Build() *Static {
-	keys := make([]uint64, len(b.edges))
-	for i, e := range b.edges {
-		keys[i] = uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
-	}
-	radixSortUint64(keys)
-	keys = slices.Compact(keys)
-	return fromCanonicalKeys(b.n, keys)
+	return FromPackedArcs(b.n, b.keys)
 }
 
 // FromEdges builds a Static graph on n vertices from an edge list.
@@ -235,20 +239,80 @@ func FromEdges(n int, edges []Edge) *Static {
 	return b.Build()
 }
 
-// fromCanonicalKeys builds from sorted, deduplicated packed canonical
-// (U<V) edges. It materializes both directed arcs of every edge, sorts them
-// as packed integers, and slices the result into CSR form — one integer
-// sort instead of per-vertex comparator sorts.
-func fromCanonicalKeys(n int, keys []uint64) *Static {
-	arcs := make([]uint64, 0, 2*len(keys))
+// FromPackedArcs builds a Static graph on n vertices from canonical packed
+// arcs (smaller endpoint in the high 32 bits, as produced by arcs.Pack).
+// Duplicates and self-loops are dropped; keys is not modified. Endpoints
+// must be in range — panics otherwise (detected during CSR assembly).
+//
+// This is the single-sort construction shared by every sparsifier build:
+// both directed arcs of every key are materialized up front and radix-sorted
+// once, instead of sorting the canonical keys for deduplication and then the
+// directed arcs again.
+func FromPackedArcs(n int, keys []uint64) *Static {
+	dir := make([]uint64, 0, 2*len(keys))
 	for _, k := range keys {
 		u, v := k>>32, k&0xffffffff
-		arcs = append(arcs, k, v<<32|u)
+		if u == v {
+			continue
+		}
+		dir = append(dir, k, v<<32|u)
 	}
-	radixSortUint64(arcs)
+	radixSortUint64(dir)
+	dir = slices.Compact(dir)
+	return fromSortedDirectedArcs(n, dir)
+}
+
+// FromSortedArcs builds a Static graph from canonical packed arcs that are
+// already sorted ascending (duplicates allowed); it panics if they are not.
+// Only the reversed orientations need sorting, so this sorts half as many
+// keys as FromPackedArcs and merges the two sorted halves — use it when the
+// producer emits arcs in order (e.g. a vertex-ordered scan).
+func FromSortedArcs(n int, keys []uint64) *Static {
+	rev := make([]uint64, 0, len(keys))
+	prev := uint64(0)
+	for i, k := range keys {
+		if i > 0 && k < prev {
+			panic(fmt.Sprintf("graph: FromSortedArcs keys not sorted at index %d", i))
+		}
+		prev = k
+		u, v := k>>32, k&0xffffffff
+		if u == v {
+			continue
+		}
+		rev = append(rev, v<<32|u)
+	}
+	radixSortUint64(rev)
+	// Merge the sorted halves, dropping duplicates within each. A canonical
+	// arc (high < low) never equals a reversed arc (high > low), so cross-half
+	// duplicates cannot occur.
+	dir := make([]uint64, 0, len(keys)+len(rev))
+	i, j := 0, 0
+	for i < len(keys) || j < len(rev) {
+		var k uint64
+		if j >= len(rev) || (i < len(keys) && keys[i] <= rev[j]) {
+			k = keys[i]
+			i++
+			if k>>32 == k&0xffffffff {
+				continue
+			}
+		} else {
+			k = rev[j]
+			j++
+		}
+		if len(dir) > 0 && dir[len(dir)-1] == k {
+			continue
+		}
+		dir = append(dir, k)
+	}
+	return fromSortedDirectedArcs(n, dir)
+}
+
+// fromSortedDirectedArcs slices sorted, deduplicated directed arcs (both
+// orientations of every edge present) into CSR form.
+func fromSortedDirectedArcs(n int, dir []uint64) *Static {
 	offsets := make([]int64, n+1)
-	neighbors := make([]int32, len(arcs))
-	for i, a := range arcs {
+	neighbors := make([]int32, len(dir))
+	for i, a := range dir {
 		offsets[(a>>32)+1]++
 		neighbors[i] = int32(a & 0xffffffff)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lowerbound"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 // T10 demonstrates the two necessity results.
@@ -106,7 +107,7 @@ func T14(cfg Config) []*Table {
 		// (Line graphs are omitted: their degree is bounded by ~2·√(2·n),
 		// which cannot reach the dense probe regime at these sizes.)
 		probeBeta := map[string]int{"diversity2": 2, "diversity4": 4, "clique": 1}[tc.name]
-		delta := core.DeltaLean(probeBeta, eps)
+		delta := params.Delta(probeBeta, eps)
 		inst := tc.make(16 * float64(delta))
 		probes := int64(0)
 		for v := int32(0); v < int32(inst.G.N()); v++ {

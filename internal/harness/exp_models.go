@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/matching"
 	"repro/internal/mpc"
+	"repro/internal/params"
 	"repro/internal/stream"
 )
 
@@ -20,7 +21,7 @@ import (
 func T11(cfg Config) []*Table {
 	const beta, eps = 2, 0.3
 	n := cfg.pick(400, 1500)
-	delta := core.DeltaLean(beta, eps)
+	delta := params.Delta(beta, eps)
 	degs := []float64{64, 128}
 	if !cfg.Quick {
 		degs = []float64{64, 128, 256, 512}
@@ -56,7 +57,7 @@ func T11(cfg Config) []*Table {
 func T12(cfg Config) []*Table {
 	const beta, eps = 2, 0.3
 	n := cfg.pick(400, 1500)
-	delta := core.DeltaLean(beta, eps)
+	delta := params.Delta(beta, eps)
 	machines := []int{4, 16}
 	if !cfg.Quick {
 		machines = []int{4, 16, 64}
@@ -123,7 +124,7 @@ func T15(cfg Config) []*Table {
 func T13(cfg Config) []*Table {
 	const beta, eps = 2, 0.3
 	n := cfg.pick(2000, 6000)
-	delta := core.DeltaLean(beta, eps)
+	delta := params.Delta(beta, eps)
 	inst := gen.BoundedDiversityInstance(n, beta, 512, cfg.Seed+95)
 	exact := matching.MaximumGeneral(inst.G).Size()
 

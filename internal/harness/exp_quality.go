@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 // qualityRatio returns |MCM(G)| / |MCM(G_Δ)| using the exact blossom
@@ -34,7 +35,7 @@ func T1(cfg Config) []*Table {
 		"family", "β", "Δ*", "mult", "Δ", "ratio(mean)", "ratio(max)")
 	for _, name := range gen.FamilyNames() {
 		inst := gen.Families()[name](n, cfg.Seed+1)
-		dstar := core.DeltaLean(inst.Beta, eps)
+		dstar := params.Delta(inst.Beta, eps)
 		for _, mult := range []float64{0.25, 0.5, 1, 2} {
 			delta := max(1, int(float64(dstar)*mult))
 			var ratios []float64
@@ -59,7 +60,7 @@ func T2(cfg Config) []*Table {
 	for _, name := range []string{"line", "unitdisk", "diversity4", "clique"} {
 		inst := gen.Families()[name](n, cfg.Seed+2)
 		for _, eps := range []float64{0.5, 0.3, 0.2, 0.1} {
-			delta := core.DeltaLean(inst.Beta, eps)
+			delta := params.Delta(inst.Beta, eps)
 			var ratios []float64
 			for r := 0; r < reps; r++ {
 				q, _, _ := qualityRatio(&inst, delta, cfg.Seed+uint64(31*r)+13)
@@ -124,7 +125,7 @@ func F1(cfg Config) []*Table {
 		"n", "Δ", "trials", "failures", "failure rate", "ratio(max)")
 	for _, n := range sizes {
 		inst := gen.BoundedDiversityInstance(n, 4, 48, cfg.Seed+5)
-		delta := core.DeltaLean(inst.Beta, eps)
+		delta := params.Delta(inst.Beta, eps)
 		failures := 0
 		worst := 0.0
 		for tr := 0; tr < trials; tr++ {

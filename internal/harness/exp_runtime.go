@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/matching"
+	"repro/internal/params"
 )
 
 // timeIt returns the best-of-3 wall time of fn in milliseconds (the
@@ -30,7 +31,7 @@ func timeIt(fn func()) float64 {
 // scales with n·Δ while the full-graph algorithms scale with m.
 func T5(cfg Config) []*Table {
 	const eps, beta = 0.3, 2
-	delta := core.DeltaLean(beta, eps) // 30: vertices mark ≤ 2Δ = 60 edges
+	delta := params.Delta(beta, eps) // 30: vertices mark ≤ 2Δ = 60 edges
 	sizes := []int{500, 1000, 2000}
 	avg := 256.0
 	if !cfg.Quick {
@@ -94,7 +95,7 @@ func T6(cfg Config) []*Table {
 	for _, beta := range []int{1, 2, 4} {
 		inst := gen.BoundedDiversityInstance(n, beta, float64(avg), cfg.Seed+9)
 		g := inst.G
-		delta := core.DeltaLean(beta, eps)
+		delta := params.Delta(beta, eps)
 		var mPipe *matching.Matching
 		t := timeIt(func() {
 			sp := core.Sparsify(g, delta, cfg.Seed+41)

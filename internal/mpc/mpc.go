@@ -31,7 +31,9 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/params"
 )
 
 // Stats reports the simulated cluster's cost profile, all in words.
@@ -46,17 +48,20 @@ type Stats struct {
 
 // SparsifyMPC builds G_Δ of g on a simulated MPC cluster with the given
 // number of machines. It returns the sparsifier and the cost statistics.
+// Edges travel through the cluster as packed arcs (internal/arcs), and the
+// coordinator assembles the sparsifier with a single integer sort.
 func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Static, Stats) {
 	if machines < 1 || delta < 1 {
 		panic(fmt.Sprintf("mpc: bad parameters machines=%d delta=%d", machines, delta))
 	}
 	stats := Stats{Machines: machines, Rounds: 2}
 
-	// Input partition: edges are hashed across machines.
-	parts := make([][]graph.Edge, machines)
+	// Input partition: packed edges are hashed across machines.
+	parts := make([][]uint64, machines)
 	g.ForEachEdge(func(u, v int32) {
-		h := int(mix(seed, uint64(u)<<32|uint64(uint32(v))) % uint64(machines))
-		parts[h] = append(parts[h], graph.Edge{U: u, V: v})
+		k := arcs.Pack(u, v)
+		h := int(mix(seed, k) % uint64(machines))
+		parts[h] = append(parts[h], k)
 	})
 	for _, p := range parts {
 		if int64(len(p)) > stats.MaxInputLoad {
@@ -64,21 +69,22 @@ func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Stat
 		}
 	}
 
-	// Round 1: local candidate selection. candidate = (vertex, edge, tag).
+	// Round 1: local candidate selection. candidate = (vertex, packed edge, tag).
 	type cand struct {
 		v   int32
-		e   graph.Edge
+		key uint64
 		tag uint64
 	}
 	owner := func(v int32) int { return int(v) % machines }
 	inbox := make([][]cand, machines) // received by owner machines
 	recv1 := make([]int64, machines)
-	for mi, p := range parts {
+	for _, p := range parts {
 		// Group local edges by endpoint.
 		local := make(map[int32][]cand)
-		for _, e := range p {
-			local[e.U] = append(local[e.U], cand{v: e.U, e: e, tag: tagFor(seed, e.U, e)})
-			local[e.V] = append(local[e.V], cand{v: e.V, e: e, tag: tagFor(seed, e.V, e)})
+		for _, k := range p {
+			u, v := arcs.Unpack(k)
+			local[u] = append(local[u], cand{v: u, key: k, tag: tagFor(seed, u, k)})
+			local[v] = append(local[v], cand{v: v, key: k, tag: tagFor(seed, v, k)})
 		}
 		sent := int64(0)
 		for v, cs := range local {
@@ -94,7 +100,6 @@ func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Stat
 		if sent > stats.MaxSent {
 			stats.MaxSent = sent
 		}
-		_ = mi
 	}
 	for _, r := range recv1 {
 		if r > stats.MaxReceived {
@@ -104,7 +109,7 @@ func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Stat
 
 	// Round 2: owners pick the Δ globally smallest tags per owned vertex
 	// and forward the selected edges to the coordinator.
-	b := graph.NewBuilder(g.N())
+	buf := arcs.Get()
 	coord := int64(0)
 	for mi := 0; mi < machines; mi++ {
 		byVertex := make(map[int32][]cand)
@@ -119,7 +124,7 @@ func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Stat
 				keep = keep[:delta]
 			}
 			for _, c := range keep {
-				b.AddEdge(c.e.U, c.e.V)
+				buf.AddPacked(c.key)
 			}
 			sent += int64(len(keep))
 		}
@@ -129,14 +134,22 @@ func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Stat
 		}
 	}
 	stats.Coordinator = coord
-	return b.Build(), stats
+	sp := graph.FromPackedArcs(g.N(), buf.Keys())
+	buf.Release()
+	return sp, stats
 }
 
-// tagFor derives the i.i.d. uniform tag of edge e in vertex v's private tag
-// stream. Both endpoints of an edge draw DIFFERENT tags (the pair (v, e)
-// seeds the hash), so each vertex's reservoir is independent.
-func tagFor(seed uint64, v int32, e graph.Edge) uint64 {
-	return mix(seed^uint64(uint32(v))<<1, uint64(uint32(e.U))<<32|uint64(uint32(e.V)))
+// SparsifyMPCFor is SparsifyMPC with Δ resolved from (β, ε) through
+// internal/params (Theorem 2.1).
+func SparsifyMPCFor(g *graph.Static, beta int, eps float64, machines int, seed uint64) (*graph.Static, Stats) {
+	return SparsifyMPC(g, params.Delta(beta, eps), machines, seed)
+}
+
+// tagFor derives the i.i.d. uniform tag of packed edge k in vertex v's
+// private tag stream. Both endpoints of an edge draw DIFFERENT tags (the
+// pair (v, k) seeds the hash), so each vertex's reservoir is independent.
+func tagFor(seed uint64, v int32, k uint64) uint64 {
+	return mix(seed^uint64(uint32(v))<<1, k)
 }
 
 // mix is splitmix64-style hashing.

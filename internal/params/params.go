@@ -1,0 +1,177 @@
+// Package params is the single source of truth for resolving the paper's
+// user-facing parameters (β, ε) into the derived quantities every execution
+// model runs on: the per-vertex mark count Δ, the bounded-degree composition
+// bound Δα, the mark-all threshold, augmentation limits, worker counts, and
+// the dynamic per-update work budget.
+//
+// Each formula cites the theorem it is calibrated against:
+//
+//   - Delta / DeltaProof    — Theorem 2.1 via Claim 2.7 (lean vs proof constant)
+//   - MarkAllThreshold      — Section 3.1 low-degree tweak (2Δ)
+//   - DeltaAlpha            — Theorem 3.2 composition with the Solomon ITCS'18
+//     bounded-degree sparsifier, arboricity argument 2Δ
+//   - AugLen / AugLenCapped — Theorem 3.1 augmenting-path length bound 2⌈1/ε⌉−1
+//   - AugIters              — distributed augmentation schedule, 8·Δα iterations
+//   - DynMinBudget          — Theorem 3.5 per-update budget floor ⌈4Δ/ε²⌉
+//
+// The model packages (core, dist, stream, mpc, dynmatch, dyndist) delegate
+// their Options zero-value defaulting to the Resolve* helpers here instead of
+// re-implementing the formulas.
+package params
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+)
+
+// Check validates the paper's parameter domain: β ≥ 1 and ε ∈ (0, 1).
+// It panics on violation, mirroring the library's contract for programmer
+// errors.
+func Check(beta int, eps float64) {
+	if beta < 1 {
+		panic(fmt.Sprintf("params: beta must be >= 1, got %d", beta))
+	}
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("params: eps must be in (0,1), got %v", eps))
+	}
+}
+
+// Delta returns the lean per-vertex mark count Δ = ⌈(β/ε)·ln(24/ε)⌉.
+// Experiments (T1, F2) show the sparsifier quality transition happens near
+// this value; it is the practical default of the library.
+func Delta(beta int, eps float64) int {
+	Check(beta, eps)
+	return int(math.Ceil(float64(beta) / eps * math.Log(24/eps)))
+}
+
+// DeltaProof returns Δ with the constant of the paper's proof (Claim 2.7):
+// ⌈20·(β/ε)·ln(24/ε)⌉, the value for which the (1+ε) guarantee of
+// Theorem 2.1 is proved. Deliberately conservative.
+func DeltaProof(beta int, eps float64) int {
+	Check(beta, eps)
+	return int(math.Ceil(20 * float64(beta) / eps * math.Log(24/eps)))
+}
+
+// MarkAllThreshold returns the Section 3.1 low-degree threshold 2Δ:
+// vertices of degree at most this mark their whole neighborhood, which
+// keeps rejection sampling in expected O(Δ) per vertex and inflates the
+// size and arboricity bounds by at most a factor of 2.
+func MarkAllThreshold(delta int) int { return 2 * delta }
+
+// DeltaAlpha returns the mark count of the Solomon ITCS'18 bounded-degree
+// sparsifier for a graph of the given arboricity: ⌈5·α/ε⌉, the Θ(α/ε) with
+// the constant calibrated in experiments T7/T8. In the Theorem 3.2
+// composition the arboricity argument is 2Δ (Observation 2.12).
+func DeltaAlpha(arboricity int, eps float64) int {
+	if arboricity < 1 {
+		panic(fmt.Sprintf("params: arboricity must be >= 1, got %d", arboricity))
+	}
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("params: eps must be in (0,1), got %v", eps))
+	}
+	return int(math.Ceil(5 * float64(arboricity) / eps))
+}
+
+// AugLen returns the Theorem 3.1 augmenting-path length bound 2⌈1/ε⌉−1.
+func AugLen(eps float64) int {
+	return 2*int(math.Ceil(1/eps)) - 1
+}
+
+// AugLenCapped returns AugLen capped at 9 — the distributed pipeline keeps
+// iteration windows short by never chasing paths longer than 9.
+func AugLenCapped(eps float64) int {
+	return min(AugLen(eps), 9)
+}
+
+// AugIters returns the distributed augmentation iteration count 8·Δα.
+func AugIters(deltaAlpha int) int { return 8 * deltaAlpha }
+
+// Workers resolves a requested worker count: zero means GOMAXPROCS.
+func Workers(requested int) int {
+	if requested == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// DynMinBudget returns the Theorem 3.5 per-update work-budget floor
+// ⌈4Δ/ε²⌉ of the fully dynamic maintainers.
+func DynMinBudget(delta int, eps float64) int64 {
+	return int64(math.Ceil(4 * float64(delta) / (eps * eps)))
+}
+
+// DefaultSweeps is the default number of augmentation sweeps of the dynamic
+// maintainers' static recomputation pipeline.
+const DefaultSweeps = 3
+
+// Sequential holds the resolved parameters of the sequential sparsifier
+// (core.Options). Zero-valued fields of the receiver are filled with the
+// defaults; Delta must already be set (it is the construction's one
+// mandatory parameter).
+type Sequential struct {
+	Delta            int
+	MarkAllThreshold int
+	Workers          int
+}
+
+// Resolve fills zero-valued fields from the theorem defaults.
+func (s Sequential) Resolve() Sequential {
+	if s.MarkAllThreshold == 0 {
+		s.MarkAllThreshold = MarkAllThreshold(s.Delta)
+	}
+	s.Workers = Workers(s.Workers)
+	return s
+}
+
+// Pipeline holds the resolved parameters of the distributed
+// approximate-matching pipeline (Theorems 3.2/3.3).
+type Pipeline struct {
+	Delta      int // per-vertex mark count of G_Δ
+	DeltaAlpha int // degree bound of the bounded-degree composition
+	AugIters   int // augmentation iterations
+	AugLen     int // augmenting-path length bound (capped at 9)
+}
+
+// ResolveFor fills zero-valued fields from (β, ε) per Theorem 3.2.
+func (p Pipeline) ResolveFor(beta int, eps float64) Pipeline {
+	if p.Delta == 0 {
+		p.Delta = Delta(beta, eps)
+	}
+	if p.DeltaAlpha == 0 {
+		p.DeltaAlpha = DeltaAlpha(2*p.Delta, eps)
+	}
+	if p.AugIters == 0 {
+		p.AugIters = AugIters(p.DeltaAlpha)
+	}
+	if p.AugLen == 0 {
+		p.AugLen = AugLenCapped(eps)
+	}
+	return p
+}
+
+// Dynamic holds the resolved parameters of the fully dynamic maintainers
+// (Theorem 3.5).
+type Dynamic struct {
+	Delta     int   // per-vertex sample count
+	MaxLen    int   // augmenting-path length bound 2⌈1/ε⌉−1 (uncapped)
+	Sweeps    int   // augmentation sweeps of the static recomputation
+	MinBudget int64 // per-update work-budget floor
+}
+
+// ResolveFor fills zero-valued fields from (β, ε) per Theorem 3.5.
+// MaxLen is always derived from ε (it has no override).
+func (d Dynamic) ResolveFor(beta int, eps float64) Dynamic {
+	Check(beta, eps)
+	if d.Delta == 0 {
+		d.Delta = Delta(beta, eps)
+	}
+	d.MaxLen = AugLen(eps)
+	if d.Sweeps == 0 {
+		d.Sweeps = DefaultSweeps
+	}
+	if d.MinBudget == 0 {
+		d.MinBudget = DynMinBudget(d.Delta, eps)
+	}
+	return d
+}

@@ -1,0 +1,145 @@
+package params
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+func TestDeltaMatchesFormula(t *testing.T) {
+	for _, c := range []struct {
+		beta int
+		eps  float64
+	}{{1, 0.5}, {2, 0.3}, {5, 0.1}, {1, 0.9}} {
+		want := int(math.Ceil(float64(c.beta) / c.eps * math.Log(24/c.eps)))
+		if got := Delta(c.beta, c.eps); got != want {
+			t.Errorf("Delta(%d,%v) = %d, want %d", c.beta, c.eps, got, want)
+		}
+		if got, want := DeltaProof(c.beta, c.eps), int(math.Ceil(20*float64(c.beta)/c.eps*math.Log(24/c.eps))); got != want {
+			t.Errorf("DeltaProof(%d,%v) = %d, want %d", c.beta, c.eps, got, want)
+		}
+	}
+}
+
+func TestCheckPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"beta0":  func() { Check(0, 0.5) },
+		"eps0":   func() { Check(1, 0) },
+		"eps1":   func() { Check(1, 1) },
+		"epsNeg": func() { Check(1, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	Check(1, 0.5) // must not panic
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	if got := MarkAllThreshold(7); got != 14 {
+		t.Errorf("MarkAllThreshold(7) = %d, want 14", got)
+	}
+	if got, want := DeltaAlpha(4, 0.5), int(math.Ceil(5*4/0.5)); got != want {
+		t.Errorf("DeltaAlpha(4,0.5) = %d, want %d", got, want)
+	}
+	if got := AugLen(0.3); got != 2*4-1 {
+		t.Errorf("AugLen(0.3) = %d, want 7", got)
+	}
+	if got := AugLenCapped(0.1); got != 9 {
+		t.Errorf("AugLenCapped(0.1) = %d, want 9", got)
+	}
+	if got := AugLenCapped(0.5); got != 3 {
+		t.Errorf("AugLenCapped(0.5) = %d, want 3", got)
+	}
+	if got := AugIters(6); got != 48 {
+		t.Errorf("AugIters(6) = %d, want 48", got)
+	}
+	if got, want := DynMinBudget(10, 0.5), int64(math.Ceil(4*10/0.25)); got != want {
+		t.Errorf("DynMinBudget(10,0.5) = %d, want %d", got, want)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestSequentialResolve(t *testing.T) {
+	r := Sequential{Delta: 5}.Resolve()
+	if r.MarkAllThreshold != 10 {
+		t.Errorf("default MarkAllThreshold = %d, want 2Δ = 10", r.MarkAllThreshold)
+	}
+	if r.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default Workers = %d", r.Workers)
+	}
+	// Explicit values survive resolution.
+	r = Sequential{Delta: 5, MarkAllThreshold: 3, Workers: 2}.Resolve()
+	if r.MarkAllThreshold != 3 || r.Workers != 2 {
+		t.Errorf("overrides clobbered: %+v", r)
+	}
+}
+
+func TestPipelineResolveFor(t *testing.T) {
+	beta, eps := 2, 0.3
+	r := Pipeline{}.ResolveFor(beta, eps)
+	if r.Delta != Delta(beta, eps) {
+		t.Errorf("Delta = %d, want %d", r.Delta, Delta(beta, eps))
+	}
+	if r.DeltaAlpha != DeltaAlpha(2*r.Delta, eps) {
+		t.Errorf("DeltaAlpha = %d, want composition bound with arboricity 2Δ", r.DeltaAlpha)
+	}
+	if r.AugIters != 8*r.DeltaAlpha {
+		t.Errorf("AugIters = %d, want 8Δα = %d", r.AugIters, 8*r.DeltaAlpha)
+	}
+	if r.AugLen != AugLenCapped(eps) {
+		t.Errorf("AugLen = %d, want %d", r.AugLen, AugLenCapped(eps))
+	}
+	// Overriding Delta propagates into the dependent defaults.
+	r = Pipeline{Delta: 4}.ResolveFor(beta, eps)
+	if r.DeltaAlpha != DeltaAlpha(8, eps) {
+		t.Errorf("override Delta=4: DeltaAlpha = %d, want %d", r.DeltaAlpha, DeltaAlpha(8, eps))
+	}
+	r = Pipeline{Delta: 4, DeltaAlpha: 6, AugIters: 10, AugLen: 5}.ResolveFor(beta, eps)
+	if r != (Pipeline{Delta: 4, DeltaAlpha: 6, AugIters: 10, AugLen: 5}) {
+		t.Errorf("full overrides clobbered: %+v", r)
+	}
+}
+
+func TestDynamicResolveFor(t *testing.T) {
+	beta, eps := 2, 0.4
+	r := Dynamic{}.ResolveFor(beta, eps)
+	if r.Delta != Delta(beta, eps) {
+		t.Errorf("Delta = %d, want %d", r.Delta, Delta(beta, eps))
+	}
+	if r.MaxLen != AugLen(eps) {
+		t.Errorf("MaxLen = %d, want %d (uncapped)", r.MaxLen, AugLen(eps))
+	}
+	if r.Sweeps != DefaultSweeps {
+		t.Errorf("Sweeps = %d, want %d", r.Sweeps, DefaultSweeps)
+	}
+	if r.MinBudget != DynMinBudget(r.Delta, eps) {
+		t.Errorf("MinBudget = %d, want %d", r.MinBudget, DynMinBudget(r.Delta, eps))
+	}
+	// An overridden Delta feeds the budget floor.
+	r = Dynamic{Delta: 3}.ResolveFor(beta, eps)
+	if r.MinBudget != DynMinBudget(3, eps) {
+		t.Errorf("override Delta=3: MinBudget = %d, want %d", r.MinBudget, DynMinBudget(3, eps))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Dynamic.ResolveFor with eps=0 did not panic")
+			}
+		}()
+		Dynamic{}.ResolveFor(1, 0)
+	}()
+}

@@ -19,17 +19,21 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/params"
 )
 
 // Sparsifier consumes a stream of edges and maintains, for every vertex, a
 // uniform reservoir of up to Δ incident edges. Memory is O(n·Δ) words
-// regardless of the stream length.
+// regardless of the stream length. Reservoir entries are packed arcs
+// (internal/arcs), so materializing the sparsifier is a single integer
+// sort with no Edge-struct conversion.
 type Sparsifier struct {
 	delta     int
-	reservoir [][]graph.Edge // per-vertex reservoir, ≤ delta entries
-	degree    []int64        // edges seen incident on each vertex
-	edges     int64          // stream length so far
+	reservoir [][]uint64 // per-vertex reservoir of packed arcs, ≤ delta entries
+	degree    []int64    // edges seen incident on each vertex
+	edges     int64      // stream length so far
 	rng       *rand.Rand
 }
 
@@ -41,10 +45,16 @@ func NewSparsifier(n, delta int, seed uint64) *Sparsifier {
 	}
 	return &Sparsifier{
 		delta:     delta,
-		reservoir: make([][]graph.Edge, n),
+		reservoir: make([][]uint64, n),
 		degree:    make([]int64, n),
 		rng:       rand.New(rand.NewPCG(seed, 0x57eea)),
 	}
+}
+
+// NewSparsifierFor creates a streaming sparsifier with the reservoir
+// capacity Δ resolved from (β, ε) through internal/params (Theorem 2.1).
+func NewSparsifierFor(n, beta int, eps float64, seed uint64) *Sparsifier {
+	return NewSparsifier(n, params.Delta(beta, eps), seed)
 }
 
 // Push consumes one stream edge. Self-loops are ignored; the caller may
@@ -55,22 +65,23 @@ func (s *Sparsifier) Push(u, v int32) {
 		return
 	}
 	s.edges++
-	s.offer(u, graph.Edge{U: u, V: v}.Canonical())
-	s.offer(v, graph.Edge{U: u, V: v}.Canonical())
+	k := arcs.Pack(u, v)
+	s.offer(u, k)
+	s.offer(v, k)
 }
 
 // offer runs one reservoir-sampling step for vertex x.
-func (s *Sparsifier) offer(x int32, e graph.Edge) {
+func (s *Sparsifier) offer(x int32, k uint64) {
 	s.degree[x]++
 	r := s.reservoir[x]
 	if len(r) < s.delta {
-		s.reservoir[x] = append(r, e)
+		s.reservoir[x] = append(r, k)
 		return
 	}
 	// Classic reservoir rule: keep the newcomer with prob delta/degree,
 	// evicting a uniform resident.
 	if j := s.rng.Int64N(s.degree[x]); j < int64(s.delta) {
-		r[j] = e
+		r[j] = k
 	}
 }
 
@@ -90,13 +101,15 @@ func (s *Sparsifier) MemoryWords() int64 {
 
 // Sparsifier materializes G_Δ from the current reservoirs.
 func (s *Sparsifier) Sparsifier() *graph.Static {
-	b := graph.NewBuilder(len(s.reservoir))
+	buf := arcs.Get()
 	for _, r := range s.reservoir {
-		for _, e := range r {
-			b.AddEdge(e.U, e.V)
+		for _, k := range r {
+			buf.AddPacked(k)
 		}
 	}
-	return b.Build()
+	sp := graph.FromPackedArcs(len(s.reservoir), buf.Keys())
+	buf.Release()
+	return sp
 }
 
 // SparsifyStream is the one-shot convenience: it streams the edges of g in

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/arcs"
 	"repro/internal/gen"
 	"repro/internal/matching"
 )
@@ -68,8 +69,9 @@ func TestReservoirUniform(t *testing.T) {
 		for v := int32(1); v <= d; v++ {
 			s.Push(0, v)
 		}
-		for _, e := range s.reservoir[0] {
-			counts[e.Other(0)-1]++
+		for _, k := range s.reservoir[0] {
+			_, other := arcs.Unpack(k) // center 0 packs as the min endpoint
+			counts[other-1]++
 		}
 	}
 	want := float64(trials) * float64(delta) / float64(d)
@@ -171,8 +173,9 @@ func TestQuickStreamInvariants(t *testing.T) {
 			if len(r) > s.delta {
 				return false
 			}
-			for _, e := range r {
-				if e.U != int32(v) && e.V != int32(v) {
+			for _, k := range r {
+				u, w := arcs.Unpack(k)
+				if u != int32(v) && w != int32(v) {
 					return false
 				}
 			}
