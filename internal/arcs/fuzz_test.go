@@ -1,0 +1,41 @@
+package arcs
+
+import "testing"
+
+// FuzzPackUnpack checks the packed-arc encoding invariants on arbitrary
+// endpoints: packing is orientation-independent, unpacking returns the
+// canonical (min, max) pair, re-packing is the identity, and canonical
+// non-loop arcs satisfy Validate. These are the properties every sparsifier
+// build and the CSR constructor assume.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(int32(0), int32(1))
+	f.Add(int32(7), int32(7))
+	f.Add(int32(1<<30), int32(3))
+	f.Fuzz(func(t *testing.T, u, v int32) {
+		// Endpoints are vertex indices, always non-negative.
+		u &= 0x7fffffff
+		v &= 0x7fffffff
+		k := Pack(u, v)
+		if k2 := Pack(v, u); k2 != k {
+			t.Fatalf("Pack not orientation-independent: %#x vs %#x", k, k2)
+		}
+		lo, hi := Unpack(k)
+		if lo != min(u, v) || hi != max(u, v) {
+			t.Fatalf("Unpack(Pack(%d,%d)) = (%d,%d), want (%d,%d)", u, v, lo, hi, min(u, v), max(u, v))
+		}
+		if Pack(lo, hi) != k {
+			t.Fatal("re-pack of unpacked endpoints is not the identity")
+		}
+		if u == v {
+			return
+		}
+		n := int(max(u, v)) + 1
+		if err := Validate([]uint64{k}, n); err != nil {
+			t.Fatalf("canonical arc rejected: %v", err)
+		}
+		// The reversed (non-canonical) encoding must be rejected.
+		if err := Validate([]uint64{uint64(uint32(hi))<<32 | uint64(uint32(lo))}, n); err == nil {
+			t.Fatal("non-canonical arc accepted")
+		}
+	})
+}

@@ -94,6 +94,12 @@ func (nw *Network) Graph() *graph.Dynamic { return nw.g }
 // SparsifierEdges returns the maintained sparsifier size.
 func (nw *Network) SparsifierEdges() int { return nw.sp.M() }
 
+// Sparsifier returns an immutable snapshot of the maintained sparsifier
+// G_Δ. This is the conformance hook of internal/testkit: the snapshot is
+// checked against the Observation 2.10 size bound, the Observation 2.12
+// arboricity bound, and the Theorem 2.1 matching-preservation ratio.
+func (nw *Network) Sparsifier() *graph.Static { return nw.sp.Snapshot() }
+
 // Stats returns the accumulated cost counters.
 func (nw *Network) Stats() Stats { return nw.stats }
 

@@ -1,0 +1,42 @@
+package dynmatch_test
+
+// Adoption of the internal/testkit conformance harness: the fully dynamic
+// maintainer's end state after an insertion replay is a valid matching
+// within the calibrated ratio of the blossom oracle, and the
+// ResolvedOptions hook exposes the parameters actually in force.
+
+import (
+	"testing"
+
+	"repro/internal/dynmatch"
+	"repro/internal/gen"
+	"repro/internal/params"
+	"repro/internal/testkit"
+)
+
+func TestDynMatchConformance(t *testing.T) {
+	const eps = 0.3
+	inst := testkit.Certify(gen.UnitDiskInstance(80, 24, 37))
+	mt := testkit.ReplayDynamicMatcher(inst.G, inst.Beta, eps, 41)
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := testkit.CheckMatchingValid(inst.G, mt.Matching()); err != nil {
+		t.Fatal(err)
+	}
+	// ε plus transient slack, matching the maintainer's own calibration.
+	if got, floor := mt.Size(), testkit.RatioFloor(inst.MCM, eps+0.1); got < floor {
+		t.Errorf("maintained matching %d below floor %d (MCM=%d)", got, floor, inst.MCM)
+	}
+}
+
+func TestResolvedOptionsHook(t *testing.T) {
+	mt := dynmatch.New(10, dynmatch.Options{Beta: 3, Eps: 0.25}, 1)
+	opt := mt.ResolvedOptions()
+	if want := params.Delta(3, 0.25); opt.Delta != want {
+		t.Errorf("resolved Delta = %d, want the params resolution %d", opt.Delta, want)
+	}
+	if opt.Sweeps < 1 || opt.MinBudget < 1 {
+		t.Errorf("resolution left zero-valued fields: %+v", opt)
+	}
+}

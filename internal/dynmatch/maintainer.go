@@ -103,6 +103,18 @@ func (mt *Maintainer) Size() int { return mt.out.Size() }
 // Metrics returns the accumulated cost counters.
 func (mt *Maintainer) Metrics() Metrics { return mt.metrics }
 
+// ResolvedOptions returns the options after zero-value resolution through
+// internal/params — the Δ, sweep count, and budget floor the maintainer
+// actually runs with. Conformance hook for internal/testkit.
+func (mt *Maintainer) ResolvedOptions() Options { return mt.opt }
+
+// Validate checks the maintainer's structural invariant: the output is a
+// valid matching of the current graph (vertex-disjoint pairs over live
+// edges). Conformance hook for internal/testkit and the fuzz oracles.
+func (mt *Maintainer) Validate() error {
+	return matching.Verify(mt.g.Snapshot(), mt.out)
+}
+
 // Budget returns the current per-update work budget (the worst-case update
 // cost in units, up to the bounded overrun of a single DFS).
 func (mt *Maintainer) Budget() int64 { return mt.budget }

@@ -39,6 +39,47 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
+// FuzzPackedArcRoundTrip decodes arbitrary bytes into an edge list and
+// cross-checks the three construction paths — the Edge-struct Builder, the
+// packed-arc fast path, and the pre-sorted merge path — which must all
+// produce the identical valid graph regardless of duplicates, orientation,
+// or self-loops in the input.
+func FuzzPackedArcRoundTrip(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 0, 2, 2, 3})
+	f.Add([]byte{1})
+	f.Add([]byte{9, 0, 1, 0, 1, 5, 5, 8, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int32(data[0]%32) + 1
+		edges := make([]Edge, 0, len(data)/2)
+		keys := make([]uint64, 0, len(data)/2)
+		for i := 1; i+1 < len(data); i += 2 {
+			u, v := int32(data[i])%n, int32(data[i+1])%n
+			edges = append(edges, Edge{U: u, V: v})
+			if u > v {
+				u, v = v, u
+			}
+			keys = append(keys, uint64(uint32(u))<<32|uint64(uint32(v)))
+		}
+		want := FromEdges(int(n), edges)
+		if err := want.Validate(); err != nil {
+			t.Fatalf("FromEdges built invalid graph: %v", err)
+		}
+		got := FromPackedArcs(int(n), keys)
+		if got.N() != want.N() || !slices.Equal(got.Edges(), want.Edges()) {
+			t.Fatal("FromPackedArcs disagrees with FromEdges")
+		}
+		sorted := slices.Clone(keys)
+		slices.Sort(sorted)
+		got = FromSortedArcs(int(n), sorted)
+		if got.N() != want.N() || !slices.Equal(got.Edges(), want.Edges()) {
+			t.Fatal("FromSortedArcs disagrees with FromEdges")
+		}
+	})
+}
+
 // FuzzRadixSort cross-checks the radix sort against the standard library
 // on arbitrary byte-derived inputs.
 func FuzzRadixSort(f *testing.F) {

@@ -34,11 +34,24 @@ func WriteText(w io.Writer, g *Static) error {
 	return bw.Flush()
 }
 
-// ReadText decodes a graph from the text edge-list format.
+// MaxTextVertices bounds the vertex count ReadText accepts. The CSR
+// representation allocates O(n) memory up front, so without a bound a
+// 20-byte header like "n 1000000000 m 0" forces a multi-gigabyte
+// allocation — a resource bomb from untrusted input (found by fuzzing).
+// Instances beyond this bound are not realistic for a whitespace text
+// format.
+const MaxTextVertices = 1 << 26
+
+// ReadText decodes a graph from the text edge-list format. The input must
+// be a simple graph: self-loops and duplicate edges (in either orientation)
+// are rejected with an error rather than silently dropped — a file whose
+// edge list disagrees with what the parser would build is more likely a
+// generator bug than an intentional multigraph.
 func ReadText(r io.Reader) (*Static, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
 	var b *Builder
+	var seen map[uint64]struct{}
 	var wantM, gotM int
 	line := 0
 	for sc.Scan() {
@@ -55,7 +68,13 @@ func ReadText(r io.Reader) (*Static, error) {
 			if n < 0 || m < 0 {
 				return nil, fmt.Errorf("graph: line %d: negative header values", line)
 			}
+			if n > MaxTextVertices {
+				return nil, fmt.Errorf("graph: line %d: header declares %d vertices, limit %d", line, n, MaxTextVertices)
+			}
 			b = NewBuilder(n)
+			// Cap the size hint: m is untrusted and a huge declared edge
+			// count must not pre-allocate memory the input never fills.
+			seen = make(map[uint64]struct{}, min(m, 1<<20))
 			wantM = m
 			continue
 		}
@@ -66,6 +85,18 @@ func ReadText(r io.Reader) (*Static, error) {
 		if u < 0 || int(u) >= b.N() || v < 0 || int(v) >= b.N() {
 			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", line, u, v)
 		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop at vertex %d", line, u)
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("graph: line %d: duplicate edge (%d,%d)", line, u, v)
+		}
+		seen[key] = struct{}{}
 		b.AddEdge(u, v)
 		gotM++
 	}

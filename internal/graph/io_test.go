@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"fmt"
+	"math/rand/v2"
 	"slices"
 	"strings"
 	"testing"
@@ -34,17 +36,72 @@ func TestReadTextCommentsAndBlank(t *testing.T) {
 
 func TestReadTextErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":       "",
-		"bad header":  "vertices 3\n",
-		"neg header":  "n -1 m 0\n",
-		"bad edge":    "n 2 m 1\nx y\n",
-		"range edge":  "n 2 m 1\n0 5\n",
-		"count short": "n 3 m 2\n0 1\n",
+		"empty":         "",
+		"bad header":    "vertices 3\n",
+		"neg header":    "n -1 m 0\n",
+		"bad edge":      "n 2 m 1\nx y\n",
+		"range edge":    "n 2 m 1\n0 5\n",
+		"neg endpoint":  "n 3 m 1\n-1 2\n",
+		"count short":   "n 3 m 2\n0 1\n",
+		"count long":    "n 3 m 1\n0 1\n1 2\n",
+		"self loop":     "n 3 m 1\n1 1\n",
+		"duplicate":     "n 3 m 2\n0 1\n0 1\n",
+		"dup reversed":  "n 3 m 2\n0 1\n1 0\n",
+		"vertex bomb":   "n 1000000000 m 0\n",
+		"edges no head": "0 1\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadText(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: ReadText accepted bad input %q", name, in)
 		}
+	}
+}
+
+// TestTextRoundTripProperty is the randomized round-trip property behind
+// FuzzReadText: for random simple graphs, WriteText followed by ReadText is
+// the identity.
+func TestTextRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 0x10))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(40)
+		var edges []Edge
+		for u := int32(0); u < int32(n); u++ {
+			for v := u + 1; v < int32(n); v++ {
+				if rng.IntN(4) == 0 {
+					edges = append(edges, Edge{U: u, V: v})
+				}
+			}
+		}
+		g := FromEdges(n, edges)
+		var sb strings.Builder
+		if err := WriteText(&sb, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: re-read of written graph failed: %v", trial, err)
+		}
+		if got.N() != g.N() || !slices.Equal(got.Edges(), g.Edges()) {
+			t.Fatalf("trial %d: round trip changed the graph", trial)
+		}
+	}
+}
+
+// TestReadTextAtVertexLimit pins the boundary: the limit itself is accepted,
+// one past it is rejected.
+func TestReadTextAtVertexLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates the limit-sized CSR")
+	}
+	g, err := ReadText(strings.NewReader(fmt.Sprintf("n %d m 0\n", MaxTextVertices)))
+	if err != nil {
+		t.Fatalf("limit-sized header rejected: %v", err)
+	}
+	if g.N() != MaxTextVertices {
+		t.Fatalf("N = %d, want %d", g.N(), MaxTextVertices)
+	}
+	if _, err := ReadText(strings.NewReader(fmt.Sprintf("n %d m 0\n", MaxTextVertices+1))); err == nil {
+		t.Fatal("over-limit header accepted")
 	}
 }
 

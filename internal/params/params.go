@@ -37,12 +37,43 @@ func Check(beta int, eps float64) {
 	}
 }
 
+// ceilInt returns ⌈x⌉ as an int, saturating at math.MaxInt. Converting a
+// float64 beyond the int range is implementation-defined in Go (on amd64 it
+// wraps to MinInt), so huge (β, 1/ε) combinations would otherwise produce a
+// NEGATIVE Δ or budget and silently disable every downstream guard.
+func ceilInt(x float64) int {
+	c := math.Ceil(x)
+	// float64(MaxInt64) is exactly 2^63, so c >= catches every value whose
+	// int conversion would overflow.
+	if c >= math.MaxInt64 {
+		return math.MaxInt
+	}
+	return int(c)
+}
+
+// ceilInt64 is ceilInt for int64 results.
+func ceilInt64(x float64) int64 {
+	c := math.Ceil(x)
+	if c >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(c)
+}
+
+// satMul returns a·b, saturating at math.MaxInt (a, b ≥ 0).
+func satMul(a, b int) int {
+	if b != 0 && a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
 // Delta returns the lean per-vertex mark count Δ = ⌈(β/ε)·ln(24/ε)⌉.
 // Experiments (T1, F2) show the sparsifier quality transition happens near
 // this value; it is the practical default of the library.
 func Delta(beta int, eps float64) int {
 	Check(beta, eps)
-	return int(math.Ceil(float64(beta) / eps * math.Log(24/eps)))
+	return ceilInt(float64(beta) / eps * math.Log(24/eps))
 }
 
 // DeltaProof returns Δ with the constant of the paper's proof (Claim 2.7):
@@ -50,14 +81,14 @@ func Delta(beta int, eps float64) int {
 // Theorem 2.1 is proved. Deliberately conservative.
 func DeltaProof(beta int, eps float64) int {
 	Check(beta, eps)
-	return int(math.Ceil(20 * float64(beta) / eps * math.Log(24/eps)))
+	return ceilInt(20 * float64(beta) / eps * math.Log(24/eps))
 }
 
 // MarkAllThreshold returns the Section 3.1 low-degree threshold 2Δ:
 // vertices of degree at most this mark their whole neighborhood, which
 // keeps rejection sampling in expected O(Δ) per vertex and inflates the
 // size and arboricity bounds by at most a factor of 2.
-func MarkAllThreshold(delta int) int { return 2 * delta }
+func MarkAllThreshold(delta int) int { return satMul(delta, 2) }
 
 // DeltaAlpha returns the mark count of the Solomon ITCS'18 bounded-degree
 // sparsifier for a graph of the given arboricity: ⌈5·α/ε⌉, the Θ(α/ε) with
@@ -70,12 +101,12 @@ func DeltaAlpha(arboricity int, eps float64) int {
 	if eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("params: eps must be in (0,1), got %v", eps))
 	}
-	return int(math.Ceil(5 * float64(arboricity) / eps))
+	return ceilInt(5 * float64(arboricity) / eps)
 }
 
 // AugLen returns the Theorem 3.1 augmenting-path length bound 2⌈1/ε⌉−1.
 func AugLen(eps float64) int {
-	return 2*int(math.Ceil(1/eps)) - 1
+	return satMul(ceilInt(1/eps), 2) - 1
 }
 
 // AugLenCapped returns AugLen capped at 9 — the distributed pipeline keeps
@@ -85,7 +116,7 @@ func AugLenCapped(eps float64) int {
 }
 
 // AugIters returns the distributed augmentation iteration count 8·Δα.
-func AugIters(deltaAlpha int) int { return 8 * deltaAlpha }
+func AugIters(deltaAlpha int) int { return satMul(deltaAlpha, 8) }
 
 // Workers resolves a requested worker count: zero means GOMAXPROCS.
 func Workers(requested int) int {
@@ -98,7 +129,7 @@ func Workers(requested int) int {
 // DynMinBudget returns the Theorem 3.5 per-update work-budget floor
 // ⌈4Δ/ε²⌉ of the fully dynamic maintainers.
 func DynMinBudget(delta int, eps float64) int64 {
-	return int64(math.Ceil(4 * float64(delta) / (eps * eps)))
+	return ceilInt64(4 * float64(delta) / (eps * eps))
 }
 
 // DefaultSweeps is the default number of augmentation sweeps of the dynamic

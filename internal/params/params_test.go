@@ -64,6 +64,76 @@ func TestDerivedQuantities(t *testing.T) {
 	}
 }
 
+// TestEdgeDomains pins the behavior at the parameter domain's edges: the
+// smallest β, ε pushed toward both ends of (0, 1), and the exact mark-all
+// threshold boundary. None of these may panic or produce a non-positive
+// derived quantity.
+func TestEdgeDomains(t *testing.T) {
+	// β = 1 across the ε range.
+	for _, eps := range []float64{1e-9, 0.001, 0.5, 0.999, 1 - 1e-12} {
+		d := Delta(1, eps)
+		if d < 1 {
+			t.Errorf("Delta(1, %v) = %d, want >= 1", eps, d)
+		}
+		if dp := DeltaProof(1, eps); dp < d {
+			t.Errorf("DeltaProof(1, %v) = %d below lean Delta %d", eps, dp, d)
+		}
+		if l := AugLen(eps); l < 1 || l%2 == 0 {
+			t.Errorf("AugLen(%v) = %d, want positive odd", eps, l)
+		}
+		if b := DynMinBudget(d, eps); b < 1 {
+			t.Errorf("DynMinBudget(%d, %v) = %d, want >= 1", d, eps, b)
+		}
+	}
+	// ε near 1: ln(24/ε) stays positive, so Δ ≥ β·ln(24) > 3β.
+	if d := Delta(10, 0.999); d < 31 {
+		t.Errorf("Delta(10, 0.999) = %d, want > 3β", d)
+	}
+	// Mark-all threshold boundary: exactly 2Δ, and the resolver must not
+	// clobber an explicit threshold equal to the boundary value.
+	if got := MarkAllThreshold(Delta(1, 0.5)); got != 2*Delta(1, 0.5) {
+		t.Errorf("MarkAllThreshold = %d, want 2Δ", got)
+	}
+	r := Sequential{Delta: 5, MarkAllThreshold: 10}.Resolve()
+	if r.MarkAllThreshold != 10 {
+		t.Errorf("explicit boundary threshold clobbered: %+v", r)
+	}
+}
+
+// TestOverflowSaturates pins the guards on huge inputs: float→int conversion
+// beyond the int range is implementation-defined in Go, so without
+// saturation a huge β or tiny ε would wrap Δ (or a budget) to a negative
+// value and disable every downstream size check.
+func TestOverflowSaturates(t *testing.T) {
+	huge := math.MaxInt
+	if d := Delta(huge, 1e-9); d != math.MaxInt {
+		t.Errorf("Delta(MaxInt, 1e-9) = %d, want saturation at MaxInt", d)
+	}
+	if d := DeltaProof(huge, 1e-9); d != math.MaxInt {
+		t.Errorf("DeltaProof(MaxInt, 1e-9) = %d, want saturation", d)
+	}
+	if got := MarkAllThreshold(huge); got != math.MaxInt {
+		t.Errorf("MarkAllThreshold(MaxInt) = %d, want saturation", got)
+	}
+	if got := AugIters(huge); got != math.MaxInt {
+		t.Errorf("AugIters(MaxInt) = %d, want saturation", got)
+	}
+	if got := DeltaAlpha(huge, 1e-9); got != math.MaxInt {
+		t.Errorf("DeltaAlpha(MaxInt, 1e-9) = %d, want saturation", got)
+	}
+	if got := DynMinBudget(huge, 1e-9); got != math.MaxInt64 {
+		t.Errorf("DynMinBudget(MaxInt, 1e-9) = %d, want saturation", got)
+	}
+	if l := AugLen(1e-300); l < 1 {
+		t.Errorf("AugLen(1e-300) = %d, want positive", l)
+	}
+	// Saturated values still compose without wrapping.
+	r := Dynamic{}.ResolveFor(huge, 1e-9)
+	if r.Delta < 1 || r.MinBudget < 1 || r.MaxLen < 1 {
+		t.Errorf("huge-β dynamic resolution wrapped negative: %+v", r)
+	}
+}
+
 func TestWorkers(t *testing.T) {
 	if got := Workers(3); got != 3 {
 		t.Errorf("Workers(3) = %d", got)

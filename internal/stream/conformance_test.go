@@ -1,0 +1,57 @@
+package stream_test
+
+// Adoption of the internal/testkit conformance harness: the streaming
+// reservoirs are order-oblivious, so the checkers must hold for every
+// stream order — canonical, reversed, and shuffled — with the pure
+// reservoir mark cap Δ' = Δ (no mark-all tweak in one pass).
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/params"
+	"repro/internal/stream"
+	"repro/internal/testkit"
+)
+
+func TestStreamConformanceAllOrders(t *testing.T) {
+	const eps = 0.3
+	inst := testkit.Certify(gen.BoundedDiversityInstance(120, 4, 64, 17))
+	delta := params.Delta(inst.Beta, eps)
+
+	m := inst.G.M()
+	reversed := make([]int, m)
+	for i := range reversed {
+		reversed[i] = m - 1 - i
+	}
+	shuffled := rand.New(rand.NewPCG(9, 0)).Perm(m)
+
+	for _, order := range []struct {
+		name string
+		perm []int
+	}{
+		{"canonical", nil},
+		{"reversed", reversed},
+		{"shuffled", shuffled},
+	} {
+		sp, mem := stream.SparsifyStream(inst.G, delta, order.perm, 21)
+		if err := testkit.CheckSparsifierConformance(inst, sp, delta); err != nil {
+			t.Errorf("%s order: %v", order.name, err)
+		}
+		if err := testkit.CheckSparsifierRatio(inst, sp, eps); err != nil {
+			t.Errorf("%s order: %v", order.name, err)
+		}
+		// Semi-streaming memory: O(n·Δ) words, never Ω(m).
+		if limit := int64(inst.G.N()) * int64(delta+2); mem > limit {
+			t.Errorf("%s order: memory %d words exceeds n·(Δ+2) = %d", order.name, mem, limit)
+		}
+	}
+}
+
+func TestStreamDeltaHook(t *testing.T) {
+	s := stream.NewSparsifierFor(10, 2, 0.25, 1)
+	if got, want := s.Delta(), params.Delta(2, 0.25); got != want {
+		t.Errorf("Delta() = %d, want the params resolution %d", got, want)
+	}
+}

@@ -88,6 +88,11 @@ func (s *Sparsifier) offer(x int32, k uint64) {
 // Edges returns the number of stream edges consumed.
 func (s *Sparsifier) Edges() int64 { return s.edges }
 
+// Delta returns the per-vertex reservoir capacity — the effective mark cap
+// Δ' the conformance checkers (internal/testkit) bound the sparsifier's
+// size and arboricity with.
+func (s *Sparsifier) Delta() int { return s.delta }
+
 // MemoryWords returns the current memory footprint in words (reservoir
 // entries plus per-vertex counters) — the quantity the semi-streaming
 // model bounds.

@@ -1,0 +1,166 @@
+package testkit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// The checkers are the harness's foundation, so each one is tested in both
+// directions: it accepts a known-good input AND rejects a constructed
+// violation. A checker that never fires is worse than no checker.
+
+func cliqueInstance(n int) Instance { return Certify(gen.CliqueInstance(n)) }
+
+func TestCertifyComputesOracles(t *testing.T) {
+	inst := cliqueInstance(21)
+	if inst.MCM != 10 {
+		t.Errorf("K21 MCM = %d, want 10", inst.MCM)
+	}
+	if inst.NonIsolated != 21 {
+		t.Errorf("K21 non-isolated = %d, want 21", inst.NonIsolated)
+	}
+}
+
+func TestCheckSubgraphDetects(t *testing.T) {
+	g := gen.Path(5)
+	if err := CheckSubgraph(g, g); err != nil {
+		t.Errorf("graph not a subgraph of itself: %v", err)
+	}
+	extra := graph.FromEdges(5, []graph.Edge{{U: 0, V: 4}})
+	if err := CheckSubgraph(g, extra); err == nil {
+		t.Error("extra edge (0,4) not detected")
+	}
+	if err := CheckSubgraph(g, gen.Path(4)); err == nil {
+		t.Error("vertex-count mismatch not detected")
+	}
+}
+
+func TestCheckEdgeBoundDetects(t *testing.T) {
+	inst := cliqueInstance(20) // MCM 10, 190 edges
+	if err := CheckEdgeBound(inst, inst.G, 20); err != nil {
+		t.Errorf("bound 2·10·(20+1)=420 ≥ 190 should pass: %v", err)
+	}
+	// Δ' = 5 gives bound 2·10·(5+1) = 120 < 190: must fire.
+	if err := CheckEdgeBound(inst, inst.G, 5); err == nil {
+		t.Error("edge bound violation not detected")
+	}
+}
+
+func TestCheckArboricityDetects(t *testing.T) {
+	inst := cliqueInstance(20) // degeneracy 19
+	if err := CheckArboricity(inst, inst.G, 10); err != nil {
+		t.Errorf("degeneracy 19 ≤ 2·10 should pass: %v", err)
+	}
+	if err := CheckArboricity(inst, inst.G, 9); err == nil {
+		t.Error("arboricity violation (19 > 18) not detected")
+	}
+}
+
+func TestCheckSparsifierRatioDetects(t *testing.T) {
+	inst := cliqueInstance(20)
+	if err := CheckSparsifierRatio(inst, inst.G, 0.3); err != nil {
+		t.Errorf("the graph itself preserves its own MCM: %v", err)
+	}
+	if err := CheckSparsifierRatio(inst, graph.Empty(20), 0.3); err == nil {
+		t.Error("empty sparsifier kills the matching; not detected")
+	}
+}
+
+func TestCheckLowerBoundDetects(t *testing.T) {
+	inst := cliqueInstance(20)
+	if err := CheckLowerBound(inst); err != nil {
+		t.Errorf("K20 satisfies Lemma 2.2: %v", err)
+	}
+	// Doctor the oracle below ⌈20/(1+2)⌉ = 7: must fire.
+	inst.MCM = 6
+	if err := CheckLowerBound(inst); err == nil {
+		t.Error("Lemma 2.2 violation not detected")
+	}
+}
+
+func TestCheckBetaCertificateDetects(t *testing.T) {
+	if err := CheckBetaCertificate(cliqueInstance(20)); err != nil {
+		t.Errorf("clique certificate β=1 is exact: %v", err)
+	}
+	// A star certified as β=1 lies: its center's neighborhood is an
+	// independent set of size n−1.
+	lie := Instance{Instance: gen.Instance{Name: "star-lie", G: gen.Star(10), Beta: 1}}
+	if err := CheckBetaCertificate(lie); err == nil {
+		t.Error("false beta certificate not detected")
+	}
+}
+
+func TestCheckMatchingValidDetects(t *testing.T) {
+	g := gen.Path(4) // edges (0,1),(1,2),(2,3)
+	ok := matching.FromMates([]int32{1, 0, 3, 2})
+	if err := CheckMatchingValid(g, ok); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+	bad := matching.FromMates([]int32{3, -1, -1, 0}) // (0,3) is not an edge
+	if err := CheckMatchingValid(g, bad); err == nil {
+		t.Error("non-edge matched pair not detected")
+	}
+}
+
+func TestCheckSameGraphDetects(t *testing.T) {
+	a := gen.Path(6)
+	if err := CheckSameGraph(a, gen.Path(6)); err != nil {
+		t.Errorf("identical graphs rejected: %v", err)
+	}
+	if err := CheckSameGraph(a, gen.Cycle(6)); err == nil {
+		t.Error("edge-count difference not detected")
+	}
+	b := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 5}})
+	if err := CheckSameGraph(a, b); err == nil {
+		t.Error("same-size different-edges graphs not detected")
+	}
+}
+
+func TestTallyJudgesFailureBudget(t *testing.T) {
+	tally := &Tally{}
+	tally.Observe(nil)
+	tally.Observe(errors.New("miss one"))
+	if err := tally.Judge(1); err != nil {
+		t.Errorf("1 failure within budget 1: %v", err)
+	}
+	tally.Observe(errors.New("miss two"))
+	if err := tally.Judge(1); err == nil {
+		t.Error("2 failures over budget 1 not judged")
+	} else if !strings.Contains(err.Error(), "miss one") {
+		t.Errorf("judgment does not surface the first failure: %v", err)
+	}
+}
+
+func TestErrsCombines(t *testing.T) {
+	var e Errs
+	e.Add(nil)
+	if e.Err() != nil {
+		t.Error("nil-only Errs should be nil")
+	}
+	e.Add(errors.New("a"))
+	if got := e.Err(); got == nil || got.Error() != "a" {
+		t.Errorf("single error should pass through, got %v", got)
+	}
+	e.Add(errors.New("b"))
+	got := e.Err()
+	if got == nil || !strings.Contains(got.Error(), "a") || !strings.Contains(got.Error(), "b") {
+		t.Errorf("combined error should mention both: %v", got)
+	}
+}
+
+func TestRatioFloor(t *testing.T) {
+	for _, tc := range []struct {
+		mcm   int
+		eps   float64
+		floor int
+	}{{100, 0.25, 80}, {10, 0.3, 8}, {0, 0.5, 0}, {1, 0.9, 1}} {
+		if got := RatioFloor(tc.mcm, tc.eps); got != tc.floor {
+			t.Errorf("RatioFloor(%d, %v) = %d, want %d", tc.mcm, tc.eps, got, tc.floor)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package testkit
+
+import (
+	"testing"
+
+	"repro/internal/arcs"
+	"repro/internal/dyndist"
+	"repro/internal/dynmatch"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// The dynamic-model fuzz oracles decode arbitrary bytes into edge-update
+// sequences and differentially compare the incremental structures against a
+// from-scratch rebuild: the maintained graph must equal the graph rebuilt
+// from the surviving edge set, and the maintained auxiliary state
+// (sparsifier, matching) must satisfy its structural invariants after every
+// prefix. Ops are 2 bytes each: the first selects insert/delete and one
+// endpoint, the second the other endpoint.
+
+// oracleOps decodes data into (insert, u, v) ops over n vertices.
+func oracleOps(data []byte, n int32) []struct {
+	insert bool
+	u, v   int32
+} {
+	ops := make([]struct {
+		insert bool
+		u, v   int32
+	}, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		ops = append(ops, struct {
+			insert bool
+			u, v   int32
+		}{
+			insert: data[i]&1 == 0,
+			u:      int32(data[i]>>1) % n,
+			v:      int32(data[i+1]) % n,
+		})
+	}
+	return ops
+}
+
+// rebuildOracle converts the surviving edge set into a Static graph.
+func rebuildOracle(n int32, live map[uint64]bool) *graph.Static {
+	b := graph.NewBuilder(int(n))
+	for k := range live {
+		b.AddPacked(k)
+	}
+	return b.Build()
+}
+
+// FuzzDynDistOracle drives the dynamic distributed network with arbitrary
+// update sequences and cross-checks it against the rebuild oracle: update
+// return values, the full structural invariant (marks ⊆ live edges,
+// sparsifier/mark-count consistency, matching ⊆ sparsifier + maximality),
+// and final-graph equality.
+func FuzzDynDistOracle(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x01, 0x01}, uint64(1))
+	f.Add([]byte{0x00, 0x01, 0x00, 0x01, 0x01, 0x01, 0x00, 0x01}, uint64(7))
+	f.Add([]byte{0x10, 0x0b, 0x14, 0x02, 0x11, 0x0b, 0x06, 0x07}, uint64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		const n = 12
+		nw := dyndist.NewNetwork(n, 1+int(seed%4), seed)
+		live := make(map[uint64]bool)
+		for i, op := range oracleOps(data, n) {
+			if op.u == op.v {
+				continue
+			}
+			k := arcs.Pack(op.u, op.v)
+			if op.insert {
+				if got, want := nw.Insert(op.u, op.v), !live[k]; got != want {
+					t.Fatalf("op %d: Insert(%d,%d) = %v, oracle says %v", i, op.u, op.v, got, want)
+				}
+				live[k] = true
+			} else {
+				if got, want := nw.Delete(op.u, op.v), live[k]; got != want {
+					t.Fatalf("op %d: Delete(%d,%d) = %v, oracle says %v", i, op.u, op.v, got, want)
+				}
+				delete(live, k)
+			}
+			if i%16 == 15 {
+				if err := nw.Validate(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		}
+		if err := nw.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckSameGraph(rebuildOracle(n, live), nw.Graph().Snapshot()); err != nil {
+			t.Fatalf("maintained graph diverged from rebuild oracle: %v", err)
+		}
+		if err := CheckSubgraph(nw.Graph().Snapshot(), nw.Sparsifier()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDynMatchOracle drives the fully dynamic maintainer with arbitrary
+// update sequences. The graph is kept below the mark-all threshold (n = 16,
+// Δ ≥ 8 ⇒ every run samples the whole graph), so after two forced
+// recomputations — the second guarantees a complete run over the final
+// graph — the output must be a valid MAXIMAL matching of the final graph,
+// hence at least half the exact MCM computed by the blossom oracle.
+func FuzzDynMatchOracle(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05}, uint64(3))
+	f.Add([]byte{0x00, 0x0f, 0x01, 0x0f, 0x00, 0x02, 0x06, 0x09}, uint64(11))
+	f.Add([]byte{0x20, 0x01, 0x22, 0x03, 0x21, 0x01, 0x08, 0x0d}, uint64(99))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		const n = 16
+		mt := dynmatch.New(n, dynmatch.Options{Beta: 2, Eps: 0.5}, seed)
+		live := make(map[uint64]bool)
+		for i, op := range oracleOps(data, n) {
+			if op.u == op.v {
+				continue
+			}
+			k := arcs.Pack(op.u, op.v)
+			if op.insert {
+				if got, want := mt.Insert(op.u, op.v), !live[k]; got != want {
+					t.Fatalf("op %d: Insert(%d,%d) = %v, oracle says %v", i, op.u, op.v, got, want)
+				}
+				live[k] = true
+			} else {
+				if got, want := mt.Delete(op.u, op.v), live[k]; got != want {
+					t.Fatalf("op %d: Delete(%d,%d) = %v, oracle says %v", i, op.u, op.v, got, want)
+				}
+				delete(live, k)
+			}
+			if i%16 == 15 {
+				if err := mt.Validate(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		}
+		final := rebuildOracle(n, live)
+		if err := CheckSameGraph(final, mt.Graph().Snapshot()); err != nil {
+			t.Fatalf("maintained graph diverged from rebuild oracle: %v", err)
+		}
+		mt.ForceRecompute()
+		mt.ForceRecompute()
+		m := mt.Matching()
+		if err := CheckMatchingValid(final, m); err != nil {
+			t.Fatal(err)
+		}
+		if !matching.IsMaximal(final, m) {
+			t.Fatalf("matching of size %d not maximal after full recompute", m.Size())
+		}
+		if mcm := matching.MaximumGeneral(final).Size(); 2*m.Size() < mcm {
+			t.Fatalf("maximal matching %d below MCM/2 (MCM=%d)", m.Size(), mcm)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/matching"
+)
+
+// Instance is a certified conformance instance: a generated graph whose
+// neighborhood-independence bound β is guaranteed by the construction
+// (gen.Instance.Beta) and whose exact maximum matching size has been
+// computed once with the blossom oracle. Every checker that references
+// |MCM(G)| or β reads it from here, so the oracle cost is paid once per
+// instance rather than once per model.
+type Instance struct {
+	gen.Instance
+	// MCM is the exact maximum matching size of G (blossom oracle).
+	MCM int
+	// NonIsolated is the number of vertices of G with degree at least 1
+	// (the n' of Lemma 2.2 and of Theorem 2.1's failure probability).
+	NonIsolated int
+}
+
+// Certify computes the exact oracles for a generated instance. It panics if
+// the generator handed over an instance with an invalid β certificate —
+// certifying a lie would silently weaken every downstream checker.
+func Certify(inst gen.Instance) Instance {
+	if inst.Beta < 1 {
+		panic(fmt.Sprintf("testkit: instance %q has invalid beta %d", inst.Name, inst.Beta))
+	}
+	return Instance{
+		Instance:    inst,
+		MCM:         matching.MaximumGeneral(inst.G).Size(),
+		NonIsolated: inst.G.NonIsolated(),
+	}
+}
+
+// Family produces certified instances of one graph family at a given size,
+// parameterized by seed. Name matches the generator catalog of internal/gen.
+type Family struct {
+	Name string
+	Make func(n int, seed uint64) Instance
+}
+
+// ConformanceFamilies returns the certified families the conformance suite
+// runs by default: the clique (β = 1, the paper's canonical dense-but-easy
+// family), bounded-diversity graphs (β ≤ 4), and random unit-disk graphs
+// (β ≤ 5). avgDeg sets the target average degree of the randomized
+// families; pick it above twice the mark-all threshold of the Δ under test
+// so the samplers are actually exercised rather than degenerating to
+// "mark everything".
+func ConformanceFamilies(avgDeg float64) []Family {
+	return []Family{
+		{Name: "clique", Make: func(n int, seed uint64) Instance {
+			return Certify(gen.CliqueInstance(n))
+		}},
+		{Name: "diversity4", Make: func(n int, seed uint64) Instance {
+			return Certify(gen.BoundedDiversityInstance(n, 4, avgDeg, seed))
+		}},
+		{Name: "unitdisk", Make: func(n int, seed uint64) Instance {
+			return Certify(gen.UnitDiskInstance(n, avgDeg, seed))
+		}},
+	}
+}
+
+// CheckBetaCertificate cross-validates an instance's construction-certified
+// β bound against the polynomial-time greedy lower bound (and the exact
+// exponential-time oracle for small graphs): a lower bound exceeding the
+// certificate refutes the generator.
+func CheckBetaCertificate(inst Instance) error {
+	if lb := core.GreedyBetaLowerBound(inst.G); lb > inst.Beta {
+		return fmt.Errorf("testkit: %s: greedy beta lower bound %d exceeds certified beta %d",
+			inst.Name, lb, inst.Beta)
+	}
+	if inst.G.N() <= 64 {
+		if exact := core.ExactBeta(inst.G); exact > inst.Beta {
+			return fmt.Errorf("testkit: %s: exact beta %d exceeds certified beta %d",
+				inst.Name, exact, inst.Beta)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package testkit
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestConcurrentMarkSoak hammers the concurrent mark path: many goroutines
+// sparsify the same shared graphs at once with randomized Δ, worker counts,
+// and sampling methods. The graphs are sized above the n ≥ 1024 cutoff below
+// which SparsifyOpts stays sequential, so the worker sharding and pooled
+// packed-arc buffers really run concurrently. Under -race this is the soak
+// that flushes out data races; under the plain runner it still asserts the
+// contracts every caller relies on — the output is a subgraph of the input
+// within the Observation 2.12 arboricity bound, and a same-(options, seed)
+// rebuild is bit-identical even when racing with other sparsifications.
+// The instances are deliberately uncertified (no MCM oracle): the soak
+// checks structure and determinism, not the probabilistic ratio.
+func TestConcurrentMarkSoak(t *testing.T) {
+	goroutines := 8
+	rounds := 12
+	n := 1600
+	if testing.Short() {
+		goroutines, rounds, n = 4, 4, 1100
+	}
+	graphs := []Instance{
+		{Instance: gen.BoundedDiversityInstance(n, 4, 48, 4001)},
+		{Instance: gen.UnitDiskInstance(n, 48, 4002)},
+		{Instance: gen.CliqueInstance(n / 4)},
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < goroutines; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(id), 0x50a4))
+			for r := 0; r < rounds; r++ {
+				inst := graphs[rng.IntN(len(graphs))]
+				opt := core.Options{
+					Delta:   1 + rng.IntN(12),
+					Workers: 2 + rng.IntN(7),
+					Method:  core.Method(rng.IntN(2)), // ReadOnly or Resample
+				}
+				seed := rng.Uint64()
+				a := core.SparsifyOpts(inst.G, opt, seed)
+				b := core.SparsifyOpts(inst.G, opt, seed)
+				if err := CheckSameGraph(a, b); err != nil {
+					t.Errorf("goroutine %d round %d (%s, %+v, seed %d): concurrent same-seed rebuild differs: %v",
+						id, r, inst.Name, opt, seed, err)
+					return
+				}
+				if err := CheckSubgraph(inst.G, a); err != nil {
+					t.Errorf("goroutine %d round %d (%s, %+v, seed %d): %v",
+						id, r, inst.Name, opt, seed, err)
+					return
+				}
+				if err := CheckArboricity(inst, a, core.ArboricityUpperBound(opt)/2); err != nil {
+					t.Errorf("goroutine %d round %d (%s, %+v, seed %d): %v",
+						id, r, inst.Name, opt, seed, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}

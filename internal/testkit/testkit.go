@@ -1,0 +1,59 @@
+// Package testkit is the cross-model conformance and invariant-checking
+// harness of the sparsematch library.
+//
+// The paper's guarantees are quantitative and checkable — the (1+ε)
+// sparsifier ratio of Theorem 2.1, the n'/(β+2) matching lower bound of
+// Lemma 2.2, the 2·|MCM|·(Δ'+β) edge bound of Observation 2.10, and the
+// 2Δ' arboricity bound of Observation 2.12 — and they hold for ANY valid
+// instantiation of the per-vertex marking distribution. This package turns
+// each statement into an executable checker backed by exact oracles
+// (Edmonds' blossom for the MCM, degeneracy peeling for arboricity) and
+// provides a differential driver that runs every execution model
+// (sequential, distributed, streaming, MPC, dynamic-distributed, fully
+// dynamic) on the same certified instance and asserts every applicable
+// checker on every model's output.
+//
+// The building blocks:
+//
+//   - Instance / Certify — a generated graph carrying a construction-
+//     certified β bound and the exact MCM computed once via blossom.
+//   - Check* — theorem-indexed invariant checkers returning descriptive
+//     errors (see checkers.go for the theorem map).
+//   - SparsifierModels / DynamicModels — the differential catalog: each
+//     entry builds one execution model's sparsifier (or replayed matcher)
+//     with a uniform (delta, seed) interface and declares its effective
+//     per-vertex mark cap Δ' for the deterministic bound checkers.
+//
+// Checkers are pure functions from outputs to errors, so they are usable
+// from any package's tests (external test packages may import testkit even
+// though testkit imports the model packages). The conformance suite in
+// conformance_test.go is the canonical consumer; per-model adoption tests
+// live next to each model package.
+package testkit
+
+import "fmt"
+
+// Errs collects checker failures and formats them as one error.
+type Errs []error
+
+// Add appends err if it is non-nil.
+func (e *Errs) Add(err error) {
+	if err != nil {
+		*e = append(*e, err)
+	}
+}
+
+// Err returns nil if no failure was collected, else a combined error.
+func (e Errs) Err() error {
+	if len(e) == 0 {
+		return nil
+	}
+	if len(e) == 1 {
+		return e[0]
+	}
+	msg := fmt.Sprintf("%d failures:", len(e))
+	for _, err := range e {
+		msg += "\n  - " + err.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
