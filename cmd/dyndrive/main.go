@@ -33,6 +33,8 @@ func main() {
 	beta := flag.Int("beta", 2, "neighborhood independence bound")
 	eps := flag.Float64("eps", 0.3, "approximation parameter")
 	seed := flag.Uint64("seed", 1, "random seed")
+	checkpoint := flag.Int("checkpoint", -1,
+		"simulate a crash: snapshot the maintainer after this many updates,\nrestore, and verify the replay matches (maintainer only)")
 	flag.Parse()
 
 	if *genFam != "" {
@@ -46,7 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dyndrive: need -in trace or -gen family")
 		os.Exit(2)
 	}
-	if err := replay(*in, *algo, *beta, *eps, *seed); err != nil {
+	if err := replay(*in, *algo, *beta, *eps, *seed, *checkpoint); err != nil {
 		fmt.Fprintf(os.Stderr, "dyndrive: %v\n", err)
 		os.Exit(1)
 	}
@@ -76,7 +78,7 @@ func generate(family string, n int, avgDeg float64, churn int, out string, seed 
 	return nil
 }
 
-func replay(in, algo string, beta int, eps float64, seed uint64) error {
+func replay(in, algo string, beta int, eps float64, seed uint64, checkpoint int) error {
 	r := os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -102,12 +104,49 @@ func replay(in, algo string, beta int, eps float64, seed uint64) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
+	if checkpoint >= 0 {
+		if algo != "maintainer" {
+			return fmt.Errorf("-checkpoint needs -algo maintainer, have %q", algo)
+		}
+		if checkpoint > len(tr.Updates) {
+			return fmt.Errorf("-checkpoint %d beyond the trace's %d updates", checkpoint, len(tr.Updates))
+		}
+	}
 
+	var ckpt *dynmatch.Checkpoint
 	start := time.Now()
-	for _, u := range tr.Updates {
+	for i, u := range tr.Updates {
+		if i == checkpoint {
+			ckpt = m.(*dynmatch.Maintainer).Snapshot()
+		}
 		u.Apply(m)
 	}
+	if checkpoint == len(tr.Updates) {
+		ckpt = m.(*dynmatch.Maintainer).Snapshot()
+	}
 	elapsed := time.Since(start)
+
+	if ckpt != nil {
+		// Crash drill: restore from the mid-replay checkpoint, replay the
+		// tail, and demand the restored maintainer reproduce the survivor's
+		// matching exactly.
+		restored, err := dynmatch.Restore(ckpt)
+		if err != nil {
+			return fmt.Errorf("checkpoint restore: %w", err)
+		}
+		for _, u := range tr.Updates[checkpoint:] {
+			u.Apply(restored)
+		}
+		if restored.Size() != m.Matching().Size() {
+			return fmt.Errorf("restored replay diverged: matching %d, survivor has %d",
+				restored.Size(), m.Matching().Size())
+		}
+		if err := restored.Validate(); err != nil {
+			return fmt.Errorf("restored maintainer: %w", err)
+		}
+		fmt.Printf("checkpoint: snapshot at update %d, restored replay matches (size %d)\n",
+			checkpoint, restored.Size())
+	}
 
 	snap := m.Graph().Snapshot()
 	if err := matching.Verify(snap, m.Matching()); err != nil {

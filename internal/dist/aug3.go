@@ -157,8 +157,8 @@ func (an *aug3Node) Step(api *NodeAPI, round int, inbox []Msg) bool {
 
 // RunAug3 improves a maximal matching by iters rounds of distributed
 // length-3 augmentation. It returns the improved matching and run stats.
-func RunAug3(g *graph.Static, m *matching.Matching, iters int, seed uint64) (*matching.Matching, Stats) {
-	nw := NewNetwork(g, func(v int32) Program {
+func RunAug3(g *graph.Static, m *matching.Matching, iters int, seed uint64, opts ...RunOption) (*matching.Matching, Stats) {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		node := &aug3Node{iters: iters}
 		node.matchState.matePort = -1
 		if mate := m.Mate(v); mate >= 0 {
@@ -166,19 +166,19 @@ func RunAug3(g *graph.Static, m *matching.Matching, iters int, seed uint64) (*ma
 			node.matePort = portOf(g, v, mate)
 		}
 		return node
-	}, seed)
+	}, seed, opts)
 	// freePorts beliefs are initialized inside Step round 0 via the setup
 	// broadcast; preset the slices here.
 	for v := int32(0); v < int32(g.N()); v++ {
-		node := nw.Prog(v).(*aug3Node)
+		node := nw.Inner(v).(*aug3Node)
 		node.freePorts = make([]bool, g.Degree(v))
 		for i := range node.freePorts {
 			node.freePorts[i] = true
 		}
 	}
-	stats := nw.Run(aug3TotalRounds(iters) + 2)
-	return collectMatching(g, func(v int32) (bool, int) {
-		n := nw.Prog(v).(*aug3Node)
+	stats := nw.Run(nw.budget(aug3TotalRounds(iters) + 2))
+	return nw.collect(g, func(v int32) (bool, int) {
+		n := nw.Inner(v).(*aug3Node)
 		return n.matched, n.matePort
 	}), stats
 }

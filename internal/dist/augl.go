@@ -199,12 +199,12 @@ func (an *augLNode) handleMateToken(api *NodeAPI, iter int, pl tokenMsg) {
 // RunAugL improves a maximal matching by iters iterations of distributed
 // augmentation along paths of length ≤ maxLen (odd, ≥ 3). It returns the
 // improved matching and run stats.
-func RunAugL(g *graph.Static, m *matching.Matching, maxLen, iters int, seed uint64) (*matching.Matching, Stats) {
+func RunAugL(g *graph.Static, m *matching.Matching, maxLen, iters int, seed uint64, opts ...RunOption) (*matching.Matching, Stats) {
 	if maxLen < 3 {
 		maxLen = 3
 	}
 	maxRelays := (maxLen - 1) / 2
-	nw := NewNetwork(g, func(v int32) Program {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		node := &augLNode{iters: iters, maxRelays: maxRelays}
 		node.matePort = -1
 		if mate := m.Mate(v); mate >= 0 {
@@ -216,10 +216,10 @@ func RunAugL(g *graph.Static, m *matching.Matching, maxLen, iters int, seed uint
 			node.freePorts[i] = true
 		}
 		return node
-	}, seed)
-	stats := nw.Run(augLTotalRounds(iters, maxRelays) + 2)
-	return collectMatching(g, func(v int32) (bool, int) {
-		n := nw.Prog(v).(*augLNode)
+	}, seed, opts)
+	stats := nw.Run(nw.budget(augLTotalRounds(iters, maxRelays) + 2))
+	return nw.collect(g, func(v int32) (bool, int) {
+		n := nw.Inner(v).(*augLNode)
 		return n.matched, n.matePort
 	}), stats
 }

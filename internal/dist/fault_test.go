@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// dropEverything is a total-loss interceptor: every message vanishes.
+type dropEverything struct{}
+
+func (dropEverything) Fate(round int, from, to int32, bits int) Fate { return Fate{Drop: true} }
+func (dropEverything) Down(round int, v int32) bool                  { return false }
+func (dropEverything) Restart(round int, v int32) bool               { return false }
+func (dropEverything) Quiet(round int) bool                          { return true }
+
+// chatter needs three virtual rounds of neighbor traffic to finish — it can
+// never complete when every message is lost.
+type chatter struct{ r int }
+
+func (c *chatter) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	c.r = round
+	if round >= 2 {
+		return true
+	}
+	api.Broadcast(struct{}{}, 1)
+	return false
+}
+
+// TestLivelockGuardUnderTotalLoss pins the stall detection: at 100% drop
+// the reliable adapter's retransmission ladder runs dry, every port dies,
+// every node goes idle with nothing in flight, and the run must terminate
+// with VerdictStalled — distinguishable from both convergence and a
+// max-rounds timeout — long before the round budget, instead of
+// retransmitting forever.
+func TestLivelockGuardUnderTotalLoss(t *testing.T) {
+	g := gen.Clique(6)
+	const maxRounds = 10_000
+	nw := NewNetwork(g, func(v int32) Program { return &chatter{} }, 1)
+	WithReliability(ReliableOptions{Timeout: 1, MaxRetries: 3})(nw)
+	nw.SetInterceptor(dropEverything{})
+	stats, err := nw.RunChecked(maxRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verdict != VerdictStalled {
+		t.Fatalf("verdict %v, want %v (stats %+v)", stats.Verdict, VerdictStalled, stats)
+	}
+	if stats.Rounds >= maxRounds/10 {
+		t.Errorf("stall detected only after %d rounds — the guard should fire once the backoff ladder is exhausted", stats.Rounds)
+	}
+	if stats.Dropped == 0 {
+		t.Error("total loss dropped nothing?")
+	}
+	if nw.DeadPorts() == 0 {
+		t.Error("no port died under total loss")
+	}
+}
+
+// TestVerdictConvergedFaultFree is the contrast case: the same protocol
+// fault-free converges and says so.
+func TestVerdictConvergedFaultFree(t *testing.T) {
+	g := gen.Clique(6)
+	nw := NewNetwork(g, func(v int32) Program { return &chatter{} }, 1)
+	stats, err := nw.RunChecked(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verdict != VerdictConverged {
+		t.Fatalf("verdict %v, want %v", stats.Verdict, VerdictConverged)
+	}
+}
+
+// TestVerdictMaxRounds: a program that never halts and never goes idle
+// (it broadcasts every round) exhausts the budget with VerdictMaxRounds.
+func TestVerdictMaxRounds(t *testing.T) {
+	g := gen.Clique(4)
+	nw := NewNetwork(g, func(v int32) Program { return babbler{} }, 1)
+	stats, err := nw.RunChecked(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verdict != VerdictMaxRounds || stats.Rounds != 25 {
+		t.Fatalf("got %v after %d rounds, want %v after 25", stats.Verdict, stats.Rounds, VerdictMaxRounds)
+	}
+}
+
+type babbler struct{}
+
+func (babbler) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	api.Broadcast(round, 8)
+	return false
+}
+
+// faultyProg panics at round 1 on designated nodes.
+type faultyProg struct{ id int32 }
+
+func (f faultyProg) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	if round == 1 && (f.id == 0 || f.id == 2) {
+		panic("injected program bug")
+	}
+	if round == 0 {
+		api.Broadcast(struct{}{}, 1)
+		return false
+	}
+	return true
+}
+
+// TestRunCheckedStructuredNodeErrors pins the satellite contract: a node
+// program failure surfaces as a *RunError naming every failed node with
+// its round and cause (sorted by node id), the stats carry VerdictFailed,
+// and the legacy Run wrapper converts the same failure into a panic.
+func TestRunCheckedStructuredNodeErrors(t *testing.T) {
+	g := gen.Clique(5)
+	factory := func(v int32) Program { return faultyProg{id: v} }
+	nw := NewNetwork(g, factory, 1)
+	stats, err := nw.RunChecked(10)
+	if err == nil {
+		t.Fatal("RunChecked returned nil for panicking programs")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not a *RunError: %v", err, err)
+	}
+	if len(re.Failures) != 2 || re.Failures[0].Node != 0 || re.Failures[1].Node != 2 {
+		t.Fatalf("failures %+v, want nodes [0 2]", re.Failures)
+	}
+	for _, f := range re.Failures {
+		if f.Round != 1 {
+			t.Errorf("node %d failed at round %d, want 1", f.Node, f.Round)
+		}
+		if !strings.Contains(f.Error(), "injected program bug") {
+			t.Errorf("node error %q does not carry the cause", f.Error())
+		}
+	}
+	if stats.Verdict != VerdictFailed {
+		t.Errorf("verdict %v, want %v", stats.Verdict, VerdictFailed)
+	}
+
+	// The legacy wrapper must keep its panic contract.
+	defer func() {
+		if recover() == nil {
+			t.Error("Run did not panic on node failure")
+		}
+	}()
+	NewNetwork(g, factory, 1).Run(10)
+}

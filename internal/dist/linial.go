@@ -204,17 +204,17 @@ func (cn *coloringNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
 // RunColoring computes a proper (D+1)-coloring of g distributively, where
 // D = g.MaxDegree(), via Linial reduction (O(log* n) rounds) followed by the
 // palette walk-down (O(D²) rounds). It returns the colors and run stats.
-func RunColoring(g *graph.Static, seed uint64) ([]int, Stats) {
+func RunColoring(g *graph.Static, seed uint64, opts ...RunOption) ([]int, Stats) {
 	n := g.N()
 	maxDeg := g.MaxDegree()
 	template := newColoringNode(n, maxDeg)
-	nw := NewNetwork(g, func(v int32) Program {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		return newColoringNode(n, maxDeg)
-	}, seed)
-	stats := nw.Run(template.totalRounds() + 2)
+	}, seed, opts)
+	stats := nw.Run(nw.budget(template.totalRounds() + 2))
 	colors := make([]int, n)
 	for v := int32(0); v < int32(n); v++ {
-		colors[v] = nw.Prog(v).(*coloringNode).color
+		colors[v] = nw.Inner(v).(*coloringNode).color
 	}
 	return colors, stats
 }

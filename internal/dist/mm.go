@@ -124,14 +124,14 @@ func (cn *colorMMNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
 
 // RunColorMM computes a maximal matching of g given a proper coloring with
 // the stated palette size, in palette·(maxdeg+1)·3 rounds of 1-bit messages.
-func RunColorMM(g *graph.Static, colors []int, palette int, seed uint64) (*matching.Matching, Stats) {
+func RunColorMM(g *graph.Static, colors []int, palette int, seed uint64, opts ...RunOption) (*matching.Matching, Stats) {
 	maxDeg := g.MaxDegree()
-	nw := NewNetwork(g, func(v int32) Program {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		return &colorMMNode{color: colors[v], palette: palette, maxDeg: maxDeg}
-	}, seed)
-	stats := nw.Run(colorMMTotalRounds(palette, maxDeg) + 2)
-	return collectMatching(g, func(v int32) (bool, int) {
-		n := nw.Prog(v).(*colorMMNode)
+	}, seed, opts)
+	stats := nw.Run(nw.budget(colorMMTotalRounds(palette, maxDeg) + 2))
+	return nw.collect(g, func(v int32) (bool, int) {
+		n := nw.Inner(v).(*colorMMNode)
 		return n.matched, n.matePort
 	}), stats
 }
@@ -207,11 +207,11 @@ func RandMMRounds(n int) int {
 
 // RunRandMM computes a maximal matching (w.h.p.) with the randomized
 // proposal protocol, on any graph, in O(log n) rounds of 1-bit messages.
-func RunRandMM(g *graph.Static, seed uint64) (*matching.Matching, Stats) {
-	nw := NewNetwork(g, func(v int32) Program { return &randMMNode{} }, seed)
-	stats := nw.Run(RandMMRounds(g.N()))
-	return collectMatching(g, func(v int32) (bool, int) {
-		n := nw.Prog(v).(*randMMNode)
+func RunRandMM(g *graph.Static, seed uint64, opts ...RunOption) (*matching.Matching, Stats) {
+	nw := newNetworkOpts(g, func(v int32) Program { return &randMMNode{} }, seed, opts)
+	stats := nw.Run(nw.budget(RandMMRounds(g.N())))
+	return nw.collect(g, func(v int32) (bool, int) {
+		n := nw.Inner(v).(*randMMNode)
 		return n.matched, n.matePort
 	}), stats
 }

@@ -46,7 +46,7 @@ type PipelineOptions struct {
 // Every phase after the first two runs on the bounded-degree sparsifier, so
 // the total message count is bounded by rounds × |E(G̃_Δ)| = rounds × O(nΔα)
 // — sublinear in m for dense graphs (Theorem 3.3).
-func ApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt PipelineOptions, seed uint64) (*matching.Matching, PhaseStats) {
+func ApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt PipelineOptions, seed uint64, opts ...RunOption) (*matching.Matching, PhaseStats) {
 	r := params.Pipeline{
 		Delta:      opt.Delta,
 		DeltaAlpha: opt.DeltaAlpha,
@@ -55,21 +55,35 @@ func ApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt Pipeline
 	}.ResolveFor(beta, eps)
 	opt = PipelineOptions(r)
 	var ps PhaseStats
-	gd, s1 := RunSparsifier(g, opt.Delta, seed)
+	gd, s1 := RunSparsifier(g, opt.Delta, seed, opts...)
 	ps.Sparsify = s1
-	gt, s2 := RunBoundedDegree(gd, opt.DeltaAlpha, seed+1)
+	gt, s2 := RunBoundedDegree(gd, opt.DeltaAlpha, seed+1, opts...)
 	ps.Compose = s2
-	colors, s3 := RunColoring(gt, seed+2)
+	colors, s3 := RunColoring(gt, seed+2, opts...)
 	ps.Coloring = s3
 	palette := gt.MaxDegree() + 1
-	mm, s4 := RunColorMM(gt, colors, palette, seed+3)
+	mm, s4 := RunColorMM(gt, colors, palette, seed+3, opts...)
 	ps.MM = s4
-	improved, s5 := RunAugL(gt, mm, opt.AugLen, opt.AugIters, seed+4)
+	improved, s5 := RunAugL(gt, mm, opt.AugLen, opt.AugIters, seed+4, opts...)
 	ps.Aug = s5
 	for _, s := range []Stats{s1, s2, s3, s4, s5} {
 		ps.Total.Add(s)
 	}
 	return improved, ps
+}
+
+// ReliableApproxMatchingPipeline runs the same pipeline with every phase
+// wrapped in the reliable-delivery adapter (per-port acks, round-based
+// timeouts, bounded retransmission) so it survives the faults injected by
+// it — drops, duplicates, and bounded delays. A nil interceptor runs the
+// reliable pipeline fault-free (useful to measure the adapter's own
+// overhead); ropt's zero values resolve to the adapter defaults.
+func ReliableApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt PipelineOptions, ropt ReliableOptions, it Interceptor, seed uint64) (*matching.Matching, PhaseStats) {
+	opts := []RunOption{WithReliability(ropt)}
+	if it != nil {
+		opts = append(opts, WithInterceptor(it))
+	}
+	return ApproxMatchingPipeline(g, beta, eps, opt, seed, opts...)
 }
 
 // DirectMM runs the randomized maximal matching directly on g — the

@@ -41,8 +41,13 @@ func (s *sparsifierNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
 				s.ports[perm[t]] = true
 			}
 		}
-		for p := range s.ports {
-			api.Send(p, markPayload{}, 1)
+		// Send in ascending port order: map iteration order would scramble
+		// the outbox and with it a fault interceptor's per-message coin
+		// stream, breaking run-to-run reproducibility of injected faults.
+		for p := 0; p < d; p++ {
+			if s.ports[p] {
+				api.Send(p, markPayload{}, 1)
+			}
 		}
 		return false
 	default:
@@ -56,14 +61,14 @@ func (s *sparsifierNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
 // RunSparsifier constructs G_Δ distributively: one communication round,
 // 1-bit unicast messages only. It returns the sparsifier and the run stats
 // (Messages is exactly the number of marks, ≈ nΔ ≪ m).
-func RunSparsifier(g *graph.Static, delta int, seed uint64) (*graph.Static, Stats) {
-	nw := NewNetwork(g, func(v int32) Program {
+func RunSparsifier(g *graph.Static, delta int, seed uint64, opts ...RunOption) (*graph.Static, Stats) {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		return &sparsifierNode{delta: delta}
-	}, seed)
-	stats := nw.Run(4)
+	}, seed, opts)
+	stats := nw.Run(nw.budget(4))
 	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
-		node := nw.Prog(v).(*sparsifierNode)
+		node := nw.Inner(v).(*sparsifierNode)
 		for p := range node.ports {
 			buf.Add(v, g.Neighbor(v, p))
 		}
@@ -106,14 +111,14 @@ func (s *boundedDegreeNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
 // RunBoundedDegree constructs the bounded-degree sparsifier of g
 // distributively in one communication round. The result has maximum degree
 // at most deltaAlpha.
-func RunBoundedDegree(g *graph.Static, deltaAlpha int, seed uint64) (*graph.Static, Stats) {
-	nw := NewNetwork(g, func(v int32) Program {
+func RunBoundedDegree(g *graph.Static, deltaAlpha int, seed uint64, opts ...RunOption) (*graph.Static, Stats) {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		return &boundedDegreeNode{deltaAlpha: deltaAlpha}
-	}, seed)
-	stats := nw.Run(4)
+	}, seed, opts)
+	stats := nw.Run(nw.budget(4))
 	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
-		node := nw.Prog(v).(*boundedDegreeNode)
+		node := nw.Inner(v).(*boundedDegreeNode)
 		for _, p := range node.kept {
 			buf.Add(v, g.Neighbor(v, p))
 		}
@@ -155,8 +160,10 @@ func (s *broadcastSparsifierNode) Step(api *NodeAPI, round int, inbox []Msg) boo
 			}
 		}
 		marked := make([]int, 0, len(s.ports))
-		for p := range s.ports {
-			marked = append(marked, p)
+		for p := 0; p < d; p++ {
+			if s.ports[p] {
+				marked = append(marked, p)
+			}
 		}
 		// Broadcast the whole mark set to every neighbor.
 		api.Broadcast(marked, len(marked)*idBits(api.Degree()+1))
@@ -174,14 +181,14 @@ func (s *broadcastSparsifierNode) Step(api *NodeAPI, round int, inbox []Msg) boo
 // RunSparsifierBroadcast measures the one-round construction under the
 // broadcast cost model; the resulting sparsifier is identical in
 // distribution but the message count is Θ(m) (compare RunSparsifier's nΔ).
-func RunSparsifierBroadcast(g *graph.Static, delta int, seed uint64) (*graph.Static, Stats) {
-	nw := NewNetwork(g, func(v int32) Program {
+func RunSparsifierBroadcast(g *graph.Static, delta int, seed uint64, opts ...RunOption) (*graph.Static, Stats) {
+	nw := newNetworkOpts(g, func(v int32) Program {
 		return &broadcastSparsifierNode{delta: delta}
-	}, seed)
-	stats := nw.Run(4)
+	}, seed, opts)
+	stats := nw.Run(nw.budget(4))
 	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {
-		node := nw.Prog(v).(*broadcastSparsifierNode)
+		node := nw.Inner(v).(*broadcastSparsifierNode)
 		for p := range node.ports {
 			buf.Add(v, g.Neighbor(v, p))
 		}

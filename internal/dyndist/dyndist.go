@@ -27,10 +27,13 @@ import (
 
 // Stats aggregates the cost profile of a dynamic distributed run.
 type Stats struct {
-	Updates       int64
-	Messages      int64 // total messages (each mark change / proposal / reply)
-	MaxMsgsUpdate int64 // worst-case messages caused by one update
-	MaxLocalWords int64 // largest per-node memory (marks + matching state)
+	Updates         int64
+	Messages        int64 // total messages (each mark change / proposal / reply)
+	MaxMsgsUpdate   int64 // worst-case messages caused by one update
+	MaxLocalWords   int64 // largest per-node memory (marks + matching state)
+	Recoveries      int64 // crash-restart recoveries performed
+	RecoveryMsgs    int64 // total messages spent on recoveries
+	MaxMsgsRecovery int64 // worst-case messages for one recovery
 }
 
 // Network maintains the sparsifier G_Δ and a maximal matching on it in a

@@ -1,0 +1,139 @@
+package dynmatch
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Checkpoint is a self-contained, deep-copied snapshot of a Maintainer.
+// It captures everything the update loop depends on:
+//
+//   - the dynamic graph with its exact adjacency slot order (the static
+//     pipeline samples neighbors by index, so a normalized layout would
+//     change every coin flip after the restore);
+//   - the output matching and the recalibrated per-update budget;
+//   - the in-progress background recomputation (phase, cursors, sampled
+//     adjacency, partial matching, spent units);
+//   - the serialized PCG state of the shared randomness source;
+//   - the accumulated metrics.
+//
+// A restored Maintainer therefore does not merely converge back to a valid
+// state — it replays the remainder of any update sequence BIT-IDENTICALLY
+// to the maintainer it was snapshotted from. Snapshots are immutable: the
+// source maintainer may keep running and one checkpoint may be restored
+// any number of times.
+type Checkpoint struct {
+	opt     Options
+	budget  int64
+	adj     [][]int32 // graph adjacency, exact slot order
+	mates   []int32   // output matching
+	size    int
+	rng     []byte // serialized PCG state
+	metrics Metrics
+	run     runCheckpoint
+}
+
+// runCheckpoint freezes the resumable static pipeline. The epoch-stamped
+// visited array is deliberately absent: stamps only carry meaning within a
+// single augmentVertex call, which never spans a budget slice, so a fresh
+// array restores equivalently.
+type runCheckpoint struct {
+	phase    int
+	cursor   int32
+	sweep    int
+	progress bool
+	adj      [][]int32
+	mate     []int32
+	size     int
+	units    int64
+}
+
+func cloneAdj(adj [][]int32) [][]int32 {
+	out := make([][]int32, len(adj))
+	for i, a := range adj {
+		out[i] = slices.Clone(a)
+	}
+	return out
+}
+
+// Snapshot captures the maintainer's complete state in O(n·Δ + m) time.
+func (mt *Maintainer) Snapshot() *Checkpoint {
+	rngState, err := mt.src.MarshalBinary()
+	if err != nil {
+		// rand/v2 PCG marshaling cannot fail; a failure means memory
+		// corruption, not a recoverable condition.
+		panic("dynmatch: PCG state not serializable: " + err.Error())
+	}
+	gAdj := make([][]int32, mt.g.N())
+	for v := range gAdj {
+		gAdj[v] = slices.Clone(mt.g.Neighbors(int32(v)))
+	}
+	return &Checkpoint{
+		opt:     mt.opt,
+		budget:  mt.budget,
+		adj:     gAdj,
+		mates:   mt.out.Mates(),
+		size:    mt.out.Size(),
+		rng:     rngState,
+		metrics: mt.metrics,
+		run: runCheckpoint{
+			phase:    mt.run.phase,
+			cursor:   mt.run.cursor,
+			sweep:    mt.run.sweep,
+			progress: mt.run.progress,
+			adj:      cloneAdj(mt.run.adj),
+			mate:     slices.Clone(mt.run.mate),
+			size:     mt.run.size,
+			units:    mt.run.units,
+		},
+	}
+}
+
+// Restore reconstructs a Maintainer from a checkpoint, e.g. after a crash
+// with full state loss. The checkpoint is validated structurally (graph
+// symmetry, array lengths, phase range); a damaged checkpoint yields an
+// error, never a silently corrupt maintainer.
+func Restore(c *Checkpoint) (*Maintainer, error) {
+	g, err := graph.DynamicFromAdjacency(c.adj)
+	if err != nil {
+		return nil, fmt.Errorf("dynmatch: corrupt checkpoint graph: %w", err)
+	}
+	n := g.N()
+	if len(c.mates) != n || len(c.run.mate) != n || len(c.run.adj) != n {
+		return nil, fmt.Errorf("dynmatch: checkpoint arrays sized for %d/%d/%d vertices, graph has %d",
+			len(c.mates), len(c.run.mate), len(c.run.adj), n)
+	}
+	if c.run.phase < phaseSample || c.run.phase > phaseDone {
+		return nil, fmt.Errorf("dynmatch: checkpoint run phase %d out of range", c.run.phase)
+	}
+	opt, maxLen := c.opt.resolve()
+	src := &rand.PCG{}
+	if err := src.UnmarshalBinary(c.rng); err != nil {
+		return nil, fmt.Errorf("dynmatch: corrupt checkpoint rng state: %w", err)
+	}
+	m := &Maintainer{
+		g:       g,
+		opt:     opt,
+		delta:   opt.Delta,
+		maxLen:  maxLen,
+		budget:  c.budget,
+		out:     matching.WrapMates(slices.Clone(c.mates), c.size),
+		src:     src,
+		rng:     rand.New(src),
+		metrics: c.metrics,
+	}
+	m.bufs = newRunBuffers(n, m.delta)
+	r := newStaticRunBuf(m.g, m.delta, m.maxLen, m.opt.Sweeps, m.rng, m.bufs)
+	r.phase, r.cursor, r.sweep, r.progress = c.run.phase, c.run.cursor, c.run.sweep, c.run.progress
+	for v := range c.run.adj {
+		r.adj[v] = append(r.adj[v][:0], c.run.adj[v]...)
+	}
+	copy(r.mate, c.run.mate)
+	r.size, r.units = c.run.size, c.run.units
+	m.run = r
+	return m, nil
+}

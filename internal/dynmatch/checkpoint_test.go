@@ -1,0 +1,141 @@
+package dynmatch
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+type update struct {
+	u, v int32
+	del  bool
+}
+
+func randomTrace(n, k int, seed uint64) []update {
+	rng := rand.New(rand.NewPCG(seed, seed))
+	trace := make([]update, 0, k)
+	for len(trace) < k {
+		u, v := int32(rng.IntN(n)), int32(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		trace = append(trace, update{u, v, rng.IntN(3) == 0})
+	}
+	return trace
+}
+
+func apply(mt *Maintainer, trace []update) {
+	for _, t := range trace {
+		if t.del {
+			mt.Delete(t.u, t.v)
+		} else {
+			mt.Insert(t.u, t.v)
+		}
+	}
+}
+
+// TestCheckpointBitIdenticalContinuation is the tentpole criterion, in its
+// strongest form: a maintainer restored from a mid-trace checkpoint does
+// not just stay valid and match the un-crashed maintainer's SIZE — it
+// replays the remaining updates BIT-IDENTICALLY (same mates, same budget,
+// same metrics), because the checkpoint captures the graph layout, the
+// in-progress recomputation, and the PCG state exactly.
+func TestCheckpointBitIdenticalContinuation(t *testing.T) {
+	const n = 120
+	opt := Options{Beta: 2, Eps: 0.25}
+	trace := randomTrace(n, 3000, 11)
+	for _, cut := range []int{0, 317, 1500, 2999} {
+		mt := New(n, opt, 5)
+		apply(mt, trace[:cut])
+		snap := mt.Snapshot()
+
+		apply(mt, trace[cut:]) // the survivor keeps going
+
+		restored, err := Restore(snap)
+		if err != nil {
+			t.Fatalf("cut %d: Restore: %v", cut, err)
+		}
+		if err := restored.Validate(); err != nil {
+			t.Fatalf("cut %d: restored maintainer invalid before replay: %v", cut, err)
+		}
+		apply(restored, trace[cut:])
+
+		if err := restored.Validate(); err != nil {
+			t.Fatalf("cut %d: restored maintainer invalid after replay: %v", cut, err)
+		}
+		if !slices.Equal(mt.Matching().Mates(), restored.Matching().Mates()) {
+			t.Fatalf("cut %d: restored replay diverged: size %d vs %d",
+				cut, restored.Size(), mt.Size())
+		}
+		if mt.Budget() != restored.Budget() {
+			t.Errorf("cut %d: budgets diverged: %d vs %d", cut, mt.Budget(), restored.Budget())
+		}
+		if mt.Metrics() != restored.Metrics() {
+			t.Errorf("cut %d: metrics diverged:\nsurvivor: %+v\nrestored: %+v",
+				cut, mt.Metrics(), restored.Metrics())
+		}
+	}
+}
+
+// TestCheckpointIsImmutable checks that a checkpoint is decoupled from its
+// source and reusable: the source keeps mutating after Snapshot, and two
+// restores of the same checkpoint replay identically.
+func TestCheckpointIsImmutable(t *testing.T) {
+	const n = 80
+	opt := Options{Beta: 2, Eps: 0.3}
+	trace := randomTrace(n, 1200, 3)
+	mt := New(n, opt, 9)
+	apply(mt, trace[:600])
+	snap := mt.Snapshot()
+	apply(mt, trace[600:]) // mutate the source; must not leak into snap
+
+	r1, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(r1, trace[600:])
+	apply(r2, trace[600:])
+	if !slices.Equal(r1.Matching().Mates(), r2.Matching().Mates()) {
+		t.Fatal("two restores of one checkpoint diverged")
+	}
+	if !slices.Equal(r1.Matching().Mates(), mt.Matching().Mates()) {
+		t.Fatal("restored replay disagrees with the mutated source's replay")
+	}
+}
+
+// TestRestoreRejectsCorruptCheckpoints pins the validation contract: a
+// damaged checkpoint produces an error, never a silently corrupt
+// maintainer.
+func TestRestoreRejectsCorruptCheckpoints(t *testing.T) {
+	mt := New(20, Options{Beta: 2, Eps: 0.3}, 1)
+	apply(mt, randomTrace(20, 100, 7))
+
+	corruptions := map[string]func(c *Checkpoint){
+		"asymmetric graph": func(c *Checkpoint) {
+			c.adj[0] = append(c.adj[0], 19)
+		},
+		"self-loop": func(c *Checkpoint) {
+			c.adj[3] = append(c.adj[3], 3)
+		},
+		"mates length": func(c *Checkpoint) {
+			c.mates = c.mates[:5]
+		},
+		"run phase": func(c *Checkpoint) {
+			c.run.phase = 99
+		},
+		"rng state": func(c *Checkpoint) {
+			c.rng = []byte{1, 2, 3}
+		},
+	}
+	for name, corrupt := range corruptions {
+		snap := mt.Snapshot()
+		corrupt(snap)
+		if _, err := Restore(snap); err == nil {
+			t.Errorf("%s: Restore accepted a corrupt checkpoint", name)
+		}
+	}
+}

@@ -65,6 +65,7 @@ type Maintainer struct {
 	out     *matching.Matching
 	run     *staticRun
 	bufs    *runBuffers
+	src     *rand.PCG // retained for checkpointing (see checkpoint.go)
 	rng     *rand.Rand
 	metrics Metrics
 }
@@ -73,6 +74,7 @@ type Maintainer struct {
 // It panics on invalid opt.Beta or opt.Eps.
 func New(n int, opt Options, seed uint64) *Maintainer {
 	opt, maxLen := opt.resolve()
+	src := rand.NewPCG(seed, 0xd1ce)
 	m := &Maintainer{
 		g:      graph.NewDynamic(n),
 		opt:    opt,
@@ -80,7 +82,8 @@ func New(n int, opt Options, seed uint64) *Maintainer {
 		maxLen: maxLen,
 		budget: opt.MinBudget,
 		out:    matching.NewMatching(n),
-		rng:    rand.New(rand.NewPCG(seed, 0xd1ce)),
+		src:    src,
+		rng:    rand.New(src),
 	}
 	m.bufs = newRunBuffers(n, m.delta)
 	m.run = newStaticRunBuf(m.g, m.delta, m.maxLen, m.opt.Sweeps, m.rng, m.bufs)

@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzPlanRoundTrip pins the codec's canonical round-trip: any text the
+// decoder accepts must re-encode to a stable canonical form — Decode ∘
+// Encode is the identity on decoded plans — and the decoded plan must be
+// Validate()-clean and safely compilable into an injector.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add("faultplan v1\nseed 42\n")
+	f.Add("faultplan v1\nseed 0\ndrop 0.05\n")
+	f.Add("faultplan v1\nseed 7\ndrop 0.2\ndup 0.01\ndelay 0.125 max 3\n")
+	f.Add("faultplan v1\nseed 9\ncrash 3 at 0\ncrash 5 at 2 restart 8\n")
+	f.Add("faultplan v1\nseed 1\ndrop 1e-3\ncrash 0 at 100\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Decode(text)
+		if err != nil {
+			return // rejection is fine; we only demand it is total and typed
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("decoder accepted an invalid plan %+v: %v", p, verr)
+		}
+		enc := Encode(p)
+		p2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-decode: %v\ninput: %q\nencoded: %q", err, text, enc)
+		}
+		if enc2 := Encode(p2); enc2 != enc {
+			t.Fatalf("canonical encoding unstable:\nfirst:  %q\nsecond: %q", enc, enc2)
+		}
+		// The compiled schedule must agree between the two decodes on a few
+		// probe points (the injector is a pure function of the plan).
+		i1, i2 := NewInjector(p), NewInjector(p2)
+		for round := 0; round < 16; round++ {
+			for v := int32(0); v < 8; v++ {
+				if i1.Down(round, v) != i2.Down(round, v) || i1.Restart(round, v) != i2.Restart(round, v) {
+					t.Fatalf("re-decoded plan compiles to a different schedule at (%d, %d)", round, v)
+				}
+			}
+			if i1.Quiet(round) != i2.Quiet(round) {
+				t.Fatalf("re-decoded plan disagrees on Quiet(%d)", round)
+			}
+		}
+	})
+}

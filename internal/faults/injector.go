@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/dist"
+)
+
+// Injector compiles a Plan into a dist.Interceptor. Fate draws its coins
+// from a private PCG stream seeded by the plan — it is consulted exactly
+// once per sent message in deterministic order, so a fixed (plan, run) is
+// fully reproducible. Down and Restart are pure lookups into the compiled
+// crash schedule (safe from concurrent worker shards).
+//
+// One Injector may be reused across the sequential phases of a pipeline:
+// the fault stream continues across phases (still deterministic), while the
+// crash schedule is interpreted against each phase's own round numbers.
+type Injector struct {
+	plan       Plan
+	rng        *rand.Rand
+	downsBy    map[int32][]Crash // per node, sorted by round
+	restartsBy map[int32]map[int]bool
+	maxRestart int // largest scheduled restart round; -1 if none
+}
+
+// NewInjector compiles the plan. The plan should be Validate()-clean;
+// a malformed plan yields undefined fault behavior but never unsafety.
+func NewInjector(p Plan) *Injector {
+	p = p.normalize()
+	inj := &Injector{
+		plan:       p,
+		rng:        rand.New(rand.NewPCG(p.Seed, 0xfa417)),
+		downsBy:    make(map[int32][]Crash),
+		restartsBy: make(map[int32]map[int]bool),
+		maxRestart: -1,
+	}
+	for _, c := range p.Crashes {
+		inj.downsBy[c.Node] = append(inj.downsBy[c.Node], c)
+		if !c.Stop() {
+			m := inj.restartsBy[c.Node]
+			if m == nil {
+				m = make(map[int]bool)
+				inj.restartsBy[c.Node] = m
+			}
+			m[c.Restart] = true
+			if c.Restart > inj.maxRestart {
+				inj.maxRestart = c.Restart
+			}
+		}
+	}
+	return inj
+}
+
+// Injector is a convenience for NewInjector on the plan itself.
+func (p Plan) Injector() *Injector { return NewInjector(p) }
+
+// Fate decides one message's fate. With all rates zero it returns the zero
+// Fate without consuming any randomness — the no-op guarantee.
+func (inj *Injector) Fate(round int, from, to int32, bits int) dist.Fate {
+	var f dist.Fate
+	p := inj.plan
+	if p.DropRate == 0 && p.DupRate == 0 && p.DelayRate == 0 {
+		return f
+	}
+	if p.DropRate > 0 && inj.rng.Float64() < p.DropRate {
+		f.Drop = true
+		return f
+	}
+	if p.DupRate > 0 && inj.rng.Float64() < p.DupRate {
+		f.Dup = 1
+	}
+	if p.DelayRate > 0 && inj.rng.Float64() < p.DelayRate {
+		f.Delay = 1 + inj.rng.IntN(p.MaxDelay)
+	}
+	return f
+}
+
+// Down reports whether v is crashed during the given round.
+func (inj *Injector) Down(round int, v int32) bool {
+	for _, c := range inj.downsBy[v] {
+		if round < c.Round {
+			return false // sorted by round: no later interval can cover it
+		}
+		if c.Stop() || round < c.Restart {
+			return true
+		}
+	}
+	return false
+}
+
+// Restart reports whether v restarts (with full state loss) at the start
+// of the given round.
+func (inj *Injector) Restart(round int, v int32) bool {
+	return inj.restartsBy[v][round]
+}
+
+// Quiet reports that no restart is scheduled at or after the given round,
+// so the simulator may treat global quiescence as final.
+func (inj *Injector) Quiet(round int) bool { return round > inj.maxRestart }
+
+var _ dist.Interceptor = (*Injector)(nil)

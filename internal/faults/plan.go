@@ -1,0 +1,103 @@
+// Package faults provides deterministic, seed-driven fault plans for the
+// distributed simulator: per-message drop / duplication / bounded-delay
+// reordering plus node crash-stop and crash-restart schedules. A Plan
+// compiles into an Injector implementing dist.Interceptor, which the
+// simulator consults on its delivery path. The zero-fault plan compiles to
+// an injector that is a provable no-op: identical outputs AND identical
+// rounds/messages/bits accounting to a run with no interceptor installed
+// (it never consumes randomness and never perturbs a delivery).
+//
+// Plans have a canonical text encoding (Encode/Decode) so experiments can
+// store, replay, and fuzz them.
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Crash schedules one failure of one node. The node is down — it executes
+// no steps, sends nothing, and loses every message addressed to it — during
+// rounds [Round, Restart). Restart ≤ Round means crash-stop: the node never
+// comes back. On restart the node's program is rebuilt from scratch (full
+// state loss) and its local round counter restarts at zero.
+type Crash struct {
+	Node    int32
+	Round   int
+	Restart int
+}
+
+// Stop reports whether this is a crash-stop (no restart).
+func (c Crash) Stop() bool { return c.Restart <= c.Round }
+
+// Plan is a deterministic fault plan: message-level fault rates driven by
+// Seed, plus an explicit crash schedule. The zero value is the zero-fault
+// plan.
+type Plan struct {
+	// Seed drives the per-message fault coins (independent of the
+	// algorithm's own randomness).
+	Seed uint64
+	// DropRate is the probability a message is silently discarded.
+	DropRate float64
+	// DupRate is the probability a message is delivered twice.
+	DupRate float64
+	// DelayRate is the probability a message is deferred by a uniform
+	// 1..MaxDelay extra rounds (reordering it past later traffic).
+	DelayRate float64
+	// MaxDelay bounds the extra delay in rounds; it must be ≥ 1 when
+	// DelayRate > 0.
+	MaxDelay int
+	// Crashes is the node failure schedule.
+	Crashes []Crash
+}
+
+// Zero reports whether the plan injects no faults at all.
+func (p Plan) Zero() bool {
+	return p.DropRate == 0 && p.DupRate == 0 && p.DelayRate == 0 && len(p.Crashes) == 0
+}
+
+// Validate checks the plan's well-formedness: rates are probabilities,
+// delay and crash rounds are sane.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.DropRate}, {"dup", p.DupRate}, {"delay", p.DelayRate}} {
+		// A NaN rate fails both comparisons' complements, so test inclusion.
+		if !(r.v >= 0 && r.v <= 1) {
+			return fmt.Errorf("faults: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.DelayRate > 0 && p.MaxDelay < 1 {
+		return fmt.Errorf("faults: delay rate %v needs max delay ≥ 1, have %d", p.DelayRate, p.MaxDelay)
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("faults: negative max delay %d", p.MaxDelay)
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("faults: crash %d: negative node %d", i, c.Node)
+		}
+		if c.Round < 0 {
+			return fmt.Errorf("faults: crash %d: negative round %d", i, c.Round)
+		}
+	}
+	return nil
+}
+
+// normalize returns the plan with its crash schedule in canonical order
+// (by node, then round) — the order Encode emits.
+func (p Plan) normalize() Plan {
+	if len(p.Crashes) > 1 {
+		crashes := make([]Crash, len(p.Crashes))
+		copy(crashes, p.Crashes)
+		sort.Slice(crashes, func(i, j int) bool {
+			if crashes[i].Node != crashes[j].Node {
+				return crashes[i].Node < crashes[j].Node
+			}
+			return crashes[i].Round < crashes[j].Round
+		})
+		p.Crashes = crashes
+	}
+	return p
+}

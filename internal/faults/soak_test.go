@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"os"
+	"slices"
+	"strconv"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+// TestFaultSoak is the CI fault-soak entry point: the full self-healing
+// pipeline runs race-enabled (the simulator shards nodes over goroutines)
+// against fixed fault-plan seeds at drop rates {0, 0.05, 0.2}. Every run
+// must reproduce the fault-free matching bit-identically AND be
+// reproducible — two runs of the same plan must agree on the complete
+// accounting. The CI matrix sets FAULT_SOAK_DROP to soak one rate per job;
+// unset (a plain `go test`) covers all three at reduced seed count.
+func TestFaultSoak(t *testing.T) {
+	rates := []float64{0, 0.05, 0.2}
+	planSeeds := []uint64{101, 202}
+	if env := os.Getenv("FAULT_SOAK_DROP"); env != "" {
+		r, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("FAULT_SOAK_DROP=%q: %v", env, err)
+		}
+		rates = []float64{r}
+	} else if testing.Short() {
+		planSeeds = planSeeds[:1]
+	}
+	inst := gen.UnitDiskInstance(150, 30, 13)
+	base, _ := dist.ApproxMatchingPipeline(inst.G, inst.Beta, 0.3, pipeOpt, 77)
+	for _, rate := range rates {
+		for _, ps := range planSeeds {
+			plan := Plan{Seed: ps, DropRate: rate}
+			m1, s1 := dist.ReliableApproxMatchingPipeline(inst.G, inst.Beta, 0.3, pipeOpt,
+				dist.ReliableOptions{}, plan.Injector(), 77)
+			m2, s2 := dist.ReliableApproxMatchingPipeline(inst.G, inst.Beta, 0.3, pipeOpt,
+				dist.ReliableOptions{}, plan.Injector(), 77)
+			if !slices.Equal(base.Mates(), m1.Mates()) {
+				t.Errorf("rate %v seed %d: healed matching diverged from fault-free (%d vs %d edges)",
+					rate, ps, m1.Size(), base.Size())
+			}
+			if !slices.Equal(m1.Mates(), m2.Mates()) || s1.Total != s2.Total {
+				t.Errorf("rate %v seed %d: same plan, different runs:\n%+v\n%+v",
+					rate, ps, s1.Total, s2.Total)
+			}
+			if rate > 0 && s1.Total.Dropped == 0 {
+				t.Errorf("rate %v seed %d: no drops recorded", rate, ps)
+			}
+		}
+	}
+}

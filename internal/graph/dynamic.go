@@ -41,6 +41,48 @@ func DynamicFrom(g *Static) *Dynamic {
 	return d
 }
 
+// DynamicFromAdjacency reconstructs a dynamic graph from an explicit
+// per-vertex adjacency, preserving the EXACT slot order. DynamicFrom
+// re-inserts edges and so normalizes the layout; checkpoint restoration
+// cannot afford that, because randomized algorithms sampling by
+// Neighbor(v, i) index replay identically only if the slots line up. The
+// adjacency is deep-copied and checked for range, self-loops, duplicates,
+// and symmetry.
+func DynamicFromAdjacency(adj [][]int32) (*Dynamic, error) {
+	n := len(adj)
+	d := &Dynamic{
+		adj: make([][]int32, n),
+		idx: make([]map[int32]int, n),
+	}
+	arcsN := 0
+	for v := range adj {
+		d.adj[v] = append([]int32(nil), adj[v]...)
+		d.idx[v] = make(map[int32]int, len(adj[v]))
+		for i, w := range adj[v] {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: adjacency of %d references vertex %d outside [0,%d)", v, w, n)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if _, dup := d.idx[v][w]; dup {
+				return nil, fmt.Errorf("graph: duplicate neighbor %d of %d", w, v)
+			}
+			d.idx[v][w] = i
+			arcsN++
+		}
+	}
+	for v := range d.adj {
+		for _, w := range d.adj[v] {
+			if !d.HasEdge(w, int32(v)) {
+				return nil, fmt.Errorf("graph: asymmetric edge (%d,%d)", v, w)
+			}
+		}
+	}
+	d.m = arcsN / 2
+	return d, nil
+}
+
 // N returns the number of vertices.
 func (d *Dynamic) N() int { return len(d.adj) }
 

@@ -1,0 +1,64 @@
+package testkit
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/faults"
+	"repro/internal/params"
+)
+
+// TestZeroFaultInterceptorConformance extends the differential driver to
+// the fault-injection layer: on every certified instance family, a
+// zero-fault plan's interceptor installed on the delivery path must be a
+// byte-identical no-op — the distributed sparsifier it produces equals the
+// fault-free one, the full pipeline's matching equals the fault-free one,
+// and the rounds/messages/bits accounting is unchanged with all fault
+// counters at zero. This is the tentpole's no-op guarantee checked on the
+// same instances the cross-model conformance run certifies.
+func TestZeroFaultInterceptorConformance(t *testing.T) {
+	const eps = 0.3
+	n, seeds := conformanceScale(t)
+	n /= 2 // the pipeline runs five phases; half size keeps the sweep quick
+	if testing.Short() {
+		seeds = 1
+	}
+	for _, fam := range ConformanceFamilies(96) {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				inst := fam.Make(n, 4000+seed)
+				delta := params.Delta(inst.Beta, eps)
+				noop := func() dist.RunOption {
+					return dist.WithInterceptor(faults.Plan{Seed: 999 * seed}.Injector())
+				}
+
+				base, bs := dist.RunSparsifier(inst.G, delta, 6600+seed)
+				injected, is := dist.RunSparsifier(inst.G, delta, 6600+seed, noop())
+				if err := CheckSameGraph(base, injected); err != nil {
+					t.Errorf("seed %d: zero-fault sparsifier differs: %v", seed, err)
+				}
+				if bs != is {
+					t.Errorf("seed %d: zero-fault sparsifier accounting differs: %+v vs %+v", seed, bs, is)
+				}
+
+				opt := dist.PipelineOptions{Delta: delta}
+				bm, bps := dist.ApproxMatchingPipeline(inst.G, inst.Beta, eps, opt, 7700+seed)
+				im, ips := dist.ApproxMatchingPipeline(inst.G, inst.Beta, eps, opt, 7700+seed, noop())
+				if !slices.Equal(bm.Mates(), im.Mates()) {
+					t.Errorf("seed %d: zero-fault pipeline matching differs: %d vs %d edges",
+						seed, im.Size(), bm.Size())
+				}
+				if bps.Total != ips.Total {
+					t.Errorf("seed %d: zero-fault pipeline accounting differs:\nfault-free: %+v\ninjected:   %+v",
+						seed, bps.Total, ips.Total)
+				}
+				if ips.Total.Dropped+ips.Total.Duplicated+ips.Total.Delayed != 0 {
+					t.Errorf("seed %d: zero-fault plan reported faults: %+v", seed, ips.Total)
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/dynmatch"
@@ -43,7 +44,40 @@ func Write(w io.Writer, tr Trace) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace, validating vertex ranges.
+// A ParseError reports a malformed trace with the 1-based line number and
+// the offending token, so a bad line in a multi-megabyte generated trace
+// can be found without bisecting the file.
+type ParseError struct {
+	Line  int    // 1-based line number
+	Token string // the offending token ("" when the line is truncated)
+	Why   string
+}
+
+func (e *ParseError) Error() string {
+	if e.Token == "" {
+		return fmt.Sprintf("trace: line %d: %s", e.Line, e.Why)
+	}
+	return fmt.Sprintf("trace: line %d: token %q: %s", e.Line, e.Token, e.Why)
+}
+
+func parseErr(line int, token, why string) error {
+	return &ParseError{Line: line, Token: token, Why: why}
+}
+
+// parseVertex parses one endpoint token and range-checks it against n.
+func parseVertex(line int, token string, n int) (int32, error) {
+	v, err := strconv.ParseInt(token, 10, 32)
+	if err != nil {
+		return 0, parseErr(line, token, "not a vertex id")
+	}
+	if v < 0 || int(v) >= n {
+		return 0, parseErr(line, token, fmt.Sprintf("vertex outside [0,%d)", n))
+	}
+	return int32(v), nil
+}
+
+// Read decodes a trace, validating vertex ranges. Errors are *ParseError
+// values naming the 1-based line and the offending token.
 func Read(r io.Reader) (Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
@@ -56,34 +90,43 @@ func Read(r io.Reader) (Trace, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
+		fields := strings.Fields(text)
 		if !seenHeader {
-			if _, err := fmt.Sscanf(text, "n %d", &tr.N); err != nil {
-				return Trace{}, fmt.Errorf("trace: line %d: bad header %q: %w", line, text, err)
+			if fields[0] != "n" {
+				return Trace{}, parseErr(line, fields[0], `want header "n <vertices>"`)
 			}
-			if tr.N < 0 {
-				return Trace{}, fmt.Errorf("trace: line %d: negative vertex count", line)
+			if len(fields) != 2 {
+				return Trace{}, parseErr(line, fields[0], fmt.Sprintf("header has %d fields, want 2", len(fields)))
 			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return Trace{}, parseErr(line, fields[1], "not a vertex count")
+			}
+			tr.N = n
 			seenHeader = true
 			continue
 		}
-		var op string
-		var u, v int32
-		if _, err := fmt.Sscanf(text, "%1s %d %d", &op, &u, &v); err != nil {
-			return Trace{}, fmt.Errorf("trace: line %d: bad update %q: %w", line, text, err)
+		if fields[0] != "+" && fields[0] != "-" {
+			return Trace{}, parseErr(line, fields[0], `want op "+" or "-"`)
 		}
-		if op != "+" && op != "-" {
-			return Trace{}, fmt.Errorf("trace: line %d: bad op %q", line, op)
+		if len(fields) != 3 {
+			return Trace{}, parseErr(line, fields[0], fmt.Sprintf("update has %d fields, want 3", len(fields)))
 		}
-		if u < 0 || v < 0 || int(u) >= tr.N || int(v) >= tr.N {
-			return Trace{}, fmt.Errorf("trace: line %d: update (%d,%d) out of range", line, u, v)
+		u, err := parseVertex(line, fields[1], tr.N)
+		if err != nil {
+			return Trace{}, err
 		}
-		tr.Updates = append(tr.Updates, dynmatch.Update{Insert: op == "+", U: u, V: v})
+		v, err := parseVertex(line, fields[2], tr.N)
+		if err != nil {
+			return Trace{}, err
+		}
+		tr.Updates = append(tr.Updates, dynmatch.Update{Insert: fields[0] == "+", U: u, V: v})
 	}
 	if err := sc.Err(); err != nil {
 		return Trace{}, err
 	}
 	if !seenHeader {
-		return Trace{}, fmt.Errorf("trace: empty input")
+		return Trace{}, parseErr(max(1, line), "", "empty input: missing header")
 	}
 	return tr, nil
 }

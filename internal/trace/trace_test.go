@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -59,5 +60,46 @@ func TestReplayOnMaintainer(t *testing.T) {
 	}
 	if mt.Graph().M() != g.M() {
 		t.Errorf("replay produced %d edges, want %d", mt.Graph().M(), g.M())
+	}
+}
+
+// TestReadErrors pins the parse-error contract: every malformed input
+// yields a *ParseError carrying the 1-based line number and the offending
+// token, and the message contains both.
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+		line       int
+		token      string
+	}{
+		{"bad header word", "m 10\n", 1, "m"},
+		{"bad vertex count", "n ten\n", 1, "ten"},
+		{"negative count", "n -3\n", 1, "-3"},
+		{"header arity", "n 10 extra\n", 1, "n"},
+		{"bad op", "n 10\n* 1 2\n", 2, "*"},
+		{"update arity", "n 10\n+ 1\n", 2, "+"},
+		{"bad endpoint", "n 10\n+ 1 two\n", 2, "two"},
+		{"out of range", "n 10\n# pad\n\n+ 3 10\n", 4, "10"},
+		{"negative vertex", "n 10\n- -1 2\n", 2, "-1"},
+		{"empty input", "# only comments\n", 1, ""},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.text))
+		if err == nil {
+			t.Errorf("%s: Read accepted %q", c.name, c.text)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *ParseError", c.name, err)
+			continue
+		}
+		if pe.Line != c.line || pe.Token != c.token {
+			t.Errorf("%s: got line %d token %q, want line %d token %q (%v)",
+				c.name, pe.Line, pe.Token, c.line, c.token, err)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("%s: message %q does not name the line", c.name, err)
+		}
 	}
 }
