@@ -3,11 +3,13 @@ package sparsematch
 import (
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/dyndist"
 	"repro/internal/dynmatch"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/matching"
 	"repro/internal/mpc"
 	"repro/internal/stream"
 )
@@ -49,6 +51,43 @@ func ProperInterval(n int, spread float64, seed uint64) *Graph {
 
 // ErdosRenyi returns G(n, p) — no β guarantee; for general testing.
 func ErdosRenyi(n int, p float64, seed uint64) *Graph { return gen.ErdosRenyi(n, p, seed) }
+
+// ---------------------------------------------------------------------------
+// Parallel phase engine (Theorem 3.1 pipeline, sharded hot paths).
+
+// MatchOptions tunes the matching side of the sequential pipeline. Workers
+// shards both the sparsifier construction (core.Options.Workers) and the
+// discover stage of the phase engine; zero means GOMAXPROCS, 1 forces
+// sequential execution. The matching produced is bit-identical for every
+// worker count.
+type MatchOptions = matching.Options
+
+// MatchEngine is the reusable allocation-free phase engine: discover →
+// commit disjoint-path phases sharded over a worker pool, with all scratch
+// arenas owned by the engine. Close it when done to release the pool.
+type MatchEngine = matching.Engine
+
+// NewMatchEngine creates a phase engine with the given options.
+func NewMatchEngine(opt MatchOptions) *MatchEngine { return matching.NewEngine(opt) }
+
+// ApproximateMatchingOpts is ApproximateMatching with explicit engine
+// options: it sparsifies with opt.Workers sharded marking and then runs the
+// phase-structured matcher (disjoint discover → commit phases) with the
+// same worker count. The result is fully deterministic for a fixed
+// (seed, Workers) pair; the matching stage is even worker-invariant, but
+// the sparsifier keys its RNG streams by vertex range, so changing Workers
+// changes which edges G_Δ contains (core.Options.Workers contract).
+func ApproximateMatchingOpts(g *Graph, beta int, eps float64, seed uint64, opt MatchOptions) *Matching {
+	sp := core.SparsifyOpts(g, core.Options{Delta: core.DeltaLean(beta, eps), Workers: opt.Workers}, seed)
+	return matching.PhaseStructuredApproxOpts(sp, eps, seed+1, opt)
+}
+
+// PhaseStructuredMatching computes a (1+ε)-approximate maximum matching of
+// g directly (no sparsifier) with the Hopcroft–Karp-style phase schedule,
+// sharding each phase's path discovery over opt.Workers workers.
+func PhaseStructuredMatching(g *Graph, eps float64, seed uint64, opt MatchOptions) *Matching {
+	return matching.PhaseStructuredApproxOpts(g, eps, seed, opt)
+}
 
 // ---------------------------------------------------------------------------
 // Fully dynamic matching (Theorem 3.5).

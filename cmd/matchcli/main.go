@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	matchcli -in graph.txt -algo approx -beta 5 -eps 0.2
+//	matchcli -in graph.txt -algo approx -beta 5 -eps 0.2 [-workers 8]
 //
 // Algorithms: greedy (maximal, 2-approx), approx (the paper's sparsify +
 // bounded-augmentation pipeline), phases (sparsify + Hopcroft–Karp-style
-// disjoint phases), exact (Edmonds blossom), all.
+// disjoint phases), exact (Edmonds blossom), all. -workers shards the
+// sparsifier construction and the phase discovery over a worker pool.
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	beta := flag.Int("beta", 2, "neighborhood independence bound (approx/phases)")
 	eps := flag.Float64("eps", 0.2, "approximation parameter (approx/phases)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "worker count for sparsify + phase discovery (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	r := os.Stdin
@@ -49,7 +51,7 @@ func main() {
 	fmt.Printf("params: beta=%d eps=%v -> delta=%d (auglen=%d)\n",
 		*beta, *eps, params.Delta(*beta, *eps), params.AugLen(*eps))
 
-	matchers, err := cli.Matchers(*algo)
+	matchers, err := cli.MatchersOpts(*algo, matching.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "matchcli: %v\n", err)
 		os.Exit(2)

@@ -1,17 +1,26 @@
 // Command sparsebench regenerates the evaluation tables and figure series
-// of the reproduction (T1–T10, F1–F3 in DESIGN.md).
+// of the reproduction (T1–T17, F1–F3 in DESIGN.md).
 //
 // Usage:
 //
 //	sparsebench [-quick] [-seed N] [-experiment T1,T5,F2 | -list]
+//	sparsebench -format json [-benchout BENCH_matching.json]
+//	sparsebench [-cpuprofile cpu.out] [-memprofile mem.out] ...
 //
-// Without -experiment it runs the full suite in order.
+// Without -experiment it runs the full suite in order. `-format json` runs
+// the matching benchmark gate instead of the tables: it measures the phase
+// engine's hot paths per worker count with testing.Benchmark and writes a
+// machine-readable BenchReport (schema sparsematch/bench/v1) to -benchout.
+// The pprof flags wrap whichever mode runs; see DESIGN.md §Performance for
+// the profiling workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,7 +32,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed for all randomness")
 	expFlag := flag.String("experiment", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	format := flag.String("format", "text", "output format: text | csv")
+	format := flag.String("format", "text", "output format: text | csv | json (json runs the benchmark gate)")
+	benchOut := flag.String("benchout", "BENCH_matching.json", "output file for -format json")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -33,7 +45,61 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+			}
+		}()
+	}
+
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
+
+	if *format == "json" {
+		rep := harness.MatchingBench(cfg)
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate (%s, %d cpu, gomaxprocs %d) -> %s\n",
+			rep.GoVersion, rep.NumCPU, rep.GoMaxProcs, *benchOut)
+		for _, r := range rep.Results {
+			fmt.Printf("  %-12s w=%d  %12d ns/op  %4d allocs/op  speedup %.2fx  |M|=%d\n",
+				r.Experiment, r.Workers, r.NsPerOp, r.AllocsPerOp, r.SpeedupVs1W, r.MatchSize)
+		}
+		return
+	}
+
 	var selected []harness.Experiment
 	if *expFlag == "" {
 		selected = harness.All()

@@ -73,18 +73,28 @@ type Matcher struct {
 }
 
 // Matchers returns the registry of CLI-selectable algorithms; "all" runs
-// every entry.
+// every entry. The sparsifier-based matchers run sequentially; MatchersOpts
+// shards them over a worker pool.
 func Matchers(algo string) ([]Matcher, error) {
+	return MatchersOpts(algo, matching.Options{Workers: 1})
+}
+
+// MatchersOpts is Matchers with explicit phase-engine options: the approx
+// and phases matchers shard both the sparsifier construction and the phase
+// discovery over opt.Workers workers. Results are deterministic for a fixed
+// (seed, Workers) pair; the phase engine is worker-invariant, while the
+// sparsifier's marked edge set depends on the worker count (core contract).
+func MatchersOpts(algo string, opt matching.Options) ([]Matcher, error) {
 	greedy := Matcher{"greedy", func(g *graph.Static, _ int, _ float64, _ uint64) *matching.Matching {
 		return matching.Greedy(g)
 	}}
 	approx := Matcher{"approx", func(g *graph.Static, beta int, eps float64, seed uint64) *matching.Matching {
-		sp := core.Sparsify(g, params.Delta(beta, eps), seed)
+		sp := core.SparsifyOpts(g, core.Options{Delta: params.Delta(beta, eps), Workers: opt.Workers}, seed)
 		return matching.ApproxGeneral(sp, eps, seed+1)
 	}}
 	phases := Matcher{"phases", func(g *graph.Static, beta int, eps float64, seed uint64) *matching.Matching {
-		sp := core.Sparsify(g, params.Delta(beta, eps), seed)
-		return matching.PhaseStructuredApprox(sp, eps, seed+1)
+		sp := core.SparsifyOpts(g, core.Options{Delta: params.Delta(beta, eps), Workers: opt.Workers}, seed)
+		return matching.PhaseStructuredApproxOpts(sp, eps, seed+1, opt)
 	}}
 	exact := Matcher{"exact", func(g *graph.Static, _ int, _ float64, _ uint64) *matching.Matching {
 		return matching.MaximumGeneral(g)

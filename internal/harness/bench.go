@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/params"
+)
+
+// BenchSchema identifies the BENCH_*.json layout; bump on incompatible
+// changes so trajectory tooling can refuse files it does not understand.
+const BenchSchema = "sparsematch/bench/v1"
+
+// BenchResult is one measured configuration of a benchmark experiment.
+// NsPerOp/AllocsPerOp/BytesPerOp come from testing.Benchmark, so they are
+// the same quantities `go test -bench` reports.
+type BenchResult struct {
+	// Experiment is the benchmark id (e.g. "T5-phase"); Instance pins the
+	// exact workload within it.
+	Experiment  string `json:"experiment"`
+	Instance    string `json:"instance"`
+	Workers     int    `json:"workers"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// SpeedupVs1W is ns/op of the Workers==1 row of the same
+	// (Experiment, Instance) divided by this row's ns/op; 1.0 for the
+	// baseline row itself. Wall-clock scaling is bounded by NumCPU — judge
+	// multi-worker rows against the machine block of the report.
+	SpeedupVs1W float64 `json:"speedup_vs_1w"`
+	// MatchSize is the matching size the measured operation produced
+	// (identical across worker counts — the engine's determinism contract).
+	MatchSize int `json:"match_size,omitempty"`
+}
+
+// BenchReport is the machine-readable benchmark gate emitted by
+// `sparsebench -format json`: the perf trajectory record future PRs are
+// judged against. The machine block (NumCPU, GoMaxProcs, GoVersion, GoArch)
+// is part of the record because speedup rows are meaningless without it.
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	Seed       uint64        `json:"seed"`
+	Quick      bool          `json:"quick"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	GoArch     string        `json:"go_arch"`
+	Results    []BenchResult `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// benchWorkerCounts is the worker sweep of the matching bench gate.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// MatchingBench measures the matching-side hot paths of the Theorem 3.1
+// pipeline on the T5 runtime family (dense bounded-diversity graphs,
+// sparsified at the T5 parameters) and returns the machine-readable report:
+//
+//   - "T5-phase": the full phase schedule (engine greedy + disjoint
+//     discover→commit phases to fixpoint) on the prebuilt sparsifier, per
+//     worker count. This is the tentpole metric — phase throughput and the
+//     zero-allocation steady state.
+//   - "T5-pipeline": sparsify + phase schedule end to end, per worker count.
+//   - "greedy-steady": the allocation-free engine greedy on the sparsifier.
+func MatchingBench(cfg Config) BenchReport {
+	const eps, beta = 0.3, 2
+	delta := params.Delta(beta, eps)
+	n := cfg.pick(1500, 8000)
+	avg := float64(cfg.pick(256, 512))
+	inst := gen.BoundedDiversityInstance(n, beta, avg, cfg.Seed+8)
+	g := inst.G
+	sp := core.Sparsify(g, delta, cfg.Seed+29)
+	name := fmt.Sprintf("diversity%d/n=%d/avg=%g/delta=%d/eps=%g", beta, n, avg, delta, eps)
+
+	rep := BenchReport{
+		Schema:     BenchSchema,
+		Seed:       cfg.Seed,
+		Quick:      cfg.Quick,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GoArch:     runtime.GOARCH,
+	}
+
+	// T5-phase: phase schedule on the sparsifier, worker sweep.
+	rep.Results = append(rep.Results, sweepPhases("T5-phase", name, sp, eps, cfg.Seed+31)...)
+
+	// T5-pipeline: sparsify + phases end to end, worker sweep.
+	var pipeRows []BenchResult
+	for _, w := range benchWorkerCounts {
+		w := w
+		var size int
+		r := testing.Benchmark(func(b *testing.B) {
+			e := matching.NewEngine(matching.Options{Workers: w})
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spw := core.SparsifyOpts(g, core.Options{Delta: delta, Workers: w}, cfg.Seed+29)
+				m := matching.NewMatching(spw.N())
+				e.PhaseStructuredApproxInto(spw, m, eps, cfg.Seed+31)
+				size = m.Size()
+			}
+		})
+		pipeRows = append(pipeRows, BenchResult{
+			Experiment: "T5-pipeline", Instance: name, Workers: w,
+			Iterations: r.N, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+			MatchSize: size,
+		})
+	}
+	fillSpeedups(pipeRows)
+	rep.Results = append(rep.Results, pipeRows...)
+
+	// greedy-steady: zero-allocation greedy on the sparsifier.
+	{
+		var size int
+		r := testing.Benchmark(func(b *testing.B) {
+			e := matching.NewEngine(matching.Options{Workers: 1})
+			defer e.Close()
+			m := matching.NewMatching(sp.N())
+			e.GreedyShuffledInto(sp, m, cfg.Seed) // warm the arenas
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.GreedyShuffledInto(sp, m, cfg.Seed+uint64(i))
+			}
+			size = m.Size()
+		})
+		rep.Results = append(rep.Results, BenchResult{
+			Experiment: "greedy-steady", Instance: name, Workers: 1,
+			Iterations: r.N, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+			SpeedupVs1W: 1, MatchSize: size,
+		})
+	}
+	return rep
+}
+
+// sweepPhases benchmarks the full phase schedule on g for every worker
+// count, reusing one engine and matching per count so the steady state is
+// allocation-free (the row's allocs_per_op IS the per-schedule allocation
+// count after warm-up).
+func sweepPhases(id, instance string, g *graph.Static, eps float64, seed uint64) []BenchResult {
+	var rows []BenchResult
+	for _, w := range benchWorkerCounts {
+		w := w
+		var size int
+		r := testing.Benchmark(func(b *testing.B) {
+			e := matching.NewEngine(matching.Options{Workers: w})
+			defer e.Close()
+			m := matching.NewMatching(g.N())
+			e.PhaseStructuredApproxInto(g, m, eps, seed) // warm-up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.PhaseStructuredApproxInto(g, m, eps, seed)
+			}
+			size = m.Size()
+		})
+		rows = append(rows, BenchResult{
+			Experiment: id, Instance: instance, Workers: w,
+			Iterations: r.N, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+			MatchSize: size,
+		})
+	}
+	fillSpeedups(rows)
+	return rows
+}
+
+// fillSpeedups sets SpeedupVs1W on every row from the Workers==1 row of the
+// same (Experiment, Instance).
+func fillSpeedups(rows []BenchResult) {
+	base := make(map[string]int64)
+	for _, r := range rows {
+		if r.Workers == 1 {
+			base[r.Experiment+"\x00"+r.Instance] = r.NsPerOp
+		}
+	}
+	for i := range rows {
+		if b, ok := base[rows[i].Experiment+"\x00"+rows[i].Instance]; ok && rows[i].NsPerOp > 0 {
+			rows[i].SpeedupVs1W = float64(b) / float64(rows[i].NsPerOp)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestMatchingBenchQuick runs the benchmark gate in quick mode and checks
+// the report's invariants: schema tag, machine block, the full worker sweep
+// per experiment, speedup baselines, worker-invariant matching sizes, and
+// the zero-allocation steady state of the engine-resident experiments.
+func TestMatchingBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate takes a few seconds")
+	}
+	rep := MatchingBench(Config{Quick: true, Seed: 7})
+	if rep.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	if rep.NumCPU < 1 || rep.GoMaxProcs < 1 || rep.GoVersion == "" || rep.GoArch == "" {
+		t.Fatalf("machine block incomplete: %+v", rep)
+	}
+	byExp := map[string][]BenchResult{}
+	for _, r := range rep.Results {
+		byExp[r.Experiment] = append(byExp[r.Experiment], r)
+	}
+	for _, exp := range []string{"T5-phase", "T5-pipeline"} {
+		rows := byExp[exp]
+		if len(rows) != len(benchWorkerCounts) {
+			t.Fatalf("%s: %d rows, want %d", exp, len(rows), len(benchWorkerCounts))
+		}
+		for i, r := range rows {
+			if r.Workers != benchWorkerCounts[i] {
+				t.Errorf("%s[%d]: workers = %d, want %d", exp, i, r.Workers, benchWorkerCounts[i])
+			}
+			if r.NsPerOp <= 0 || r.Iterations <= 0 {
+				t.Errorf("%s w=%d: unmeasured row %+v", exp, r.Workers, r)
+			}
+			if r.SpeedupVs1W <= 0 {
+				t.Errorf("%s w=%d: speedup %v not filled", exp, r.Workers, r.SpeedupVs1W)
+			}
+			if r.Workers == 1 && r.SpeedupVs1W != 1 {
+				t.Errorf("%s: baseline speedup = %v, want 1", exp, r.SpeedupVs1W)
+			}
+			if r.MatchSize <= 0 {
+				t.Errorf("%s w=%d: match size %d", exp, r.Workers, r.MatchSize)
+			}
+		}
+	}
+	// The matching stage is worker-invariant: every T5-phase row must report
+	// the same size (T5-pipeline may differ across workers — the sparsifier
+	// keys RNG streams by vertex range).
+	for _, r := range byExp["T5-phase"] {
+		if r.MatchSize != byExp["T5-phase"][0].MatchSize {
+			t.Errorf("T5-phase: |M| varies with workers: %d vs %d", r.MatchSize, byExp["T5-phase"][0].MatchSize)
+		}
+		if r.AllocsPerOp != 0 {
+			t.Errorf("T5-phase w=%d: %d allocs/op in steady state, want 0", r.Workers, r.AllocsPerOp)
+		}
+	}
+	gr := byExp["greedy-steady"]
+	if len(gr) != 1 {
+		t.Fatalf("greedy-steady: %d rows, want 1", len(gr))
+	}
+	if gr[0].AllocsPerOp != 0 {
+		t.Errorf("greedy-steady: %d allocs/op, want 0", gr[0].AllocsPerOp)
+	}
+
+	// Round-trip: the emitted JSON must decode back to the same report.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Schema != rep.Schema || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round-trip mismatch: %d results, want %d", len(back.Results), len(rep.Results))
+	}
+}

@@ -111,6 +111,49 @@ func T6(cfg Config) []*Table {
 	return []*Table{tbl}
 }
 
+// T17 measures the parallel phase engine's scaling: the same phase schedule
+// on the same sparsifier with the discover stage sharded over 1, 2, 4, and 8
+// workers. The matching is bit-identical for every worker count (the
+// discover→commit protocol's determinism contract), so the table also
+// certifies that claim per row. Wall-clock speedup is bounded by the host's
+// core count; on a single-core box all rows time alike.
+func T17(cfg Config) []*Table {
+	const eps, beta = 0.3, 2
+	delta := params.Delta(beta, eps)
+	n := cfg.pick(1500, 8000)
+	avg := float64(cfg.pick(256, 512))
+	inst := gen.BoundedDiversityInstance(n, beta, avg, cfg.Seed+8)
+	sp := core.Sparsify(inst.G, delta, cfg.Seed+29)
+	tbl := NewTable("T17", "parallel phase-engine scaling on diversity2 (ε=0.3)",
+		"discover stage sharded over workers; commit is deterministic, so |M| and the matching itself are worker-invariant",
+		"workers", "n", "m_sparse", "t_phases(ms)", "|M|", "speedup_vs_1w", "identical_to_1w")
+	var base float64
+	var baseMates []int32
+	mates := make([]int32, 0, sp.N())
+	for _, w := range []int{1, 2, 4, 8} {
+		e := matching.NewEngine(matching.Options{Workers: w})
+		m := matching.NewMatching(sp.N())
+		e.PhaseStructuredApproxInto(sp, m, eps, cfg.Seed+31) // warm the arenas
+		t := timeIt(func() { e.PhaseStructuredApproxInto(sp, m, eps, cfg.Seed+31) })
+		mates = m.MatesInto(mates)
+		identical := true
+		if w == 1 {
+			base = t
+			baseMates = append(baseMates[:0], mates...)
+		} else {
+			for i := range mates {
+				if mates[i] != baseMates[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		tbl.AddRow(w, sp.N(), sp.M(), t, m.Size(), base/maxf(t, 1e-6), identical)
+		e.Close()
+	}
+	return []*Table{tbl}
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

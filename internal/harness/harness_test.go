@@ -37,8 +37,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -161,6 +161,21 @@ func checkExperiment(t *testing.T, id string, tables []*Table) {
 			}
 			if atof(t, row[5]) < atof(t, row[6]) {
 				t.Errorf("T10g: ratio %v below certificate %v", row[5], row[6])
+			}
+		}
+	case "T17":
+		// Every worker count must report |M| equal to the 1-worker row and
+		// certify bit-identity of the matching itself.
+		rows := tables[0].Rows
+		if len(rows) != 4 {
+			t.Fatalf("T17: want 4 worker rows, got %d", len(rows))
+		}
+		for _, row := range rows {
+			if row[4] != rows[0][4] {
+				t.Errorf("T17: |M| varies with workers: %v vs %v", row[4], rows[0][4])
+			}
+			if row[len(row)-1] != "true" {
+				t.Errorf("T17: workers=%v not bit-identical to 1 worker", row[0])
 			}
 		}
 	case "T10g-handled-within-T10":

@@ -7,11 +7,14 @@ import (
 )
 
 // BoundedAugment improves m by repeatedly finding alternating augmenting
-// paths of length at most maxLen (edges) via depth-limited DFS with global
-// visited marking, until no such path is found in a full sweep over the free
-// vertices. It returns the number of augmentations performed.
+// paths of length at most maxLen (edges) via depth-limited DFS with
+// epoch-numbered visited marking, until no such path is found in a full
+// sweep over the free vertices. It returns the number of augmentations
+// performed. The search runs on an explicit stack (engine searcher), so
+// arbitrarily long augmenting paths cannot exhaust the goroutine stack;
+// reuse an Engine to amortize the scratch arenas across calls.
 //
-// The search is exact on bipartite graphs. On general graphs the global
+// The search is exact on bipartite graphs. On general graphs the per-search
 // visited marking can miss augmenting paths that require re-entering a
 // visited odd cycle (the blossom phenomenon), so BoundedAugment is a
 // heuristic there; the library's experiments therefore always report its
@@ -19,59 +22,9 @@ import (
 // all augmenting paths of length ≤ 2k−1 guarantees a (1+1/k)-approximation
 // (Hopcroft–Karp lemma, which holds in general graphs).
 func BoundedAugment(g *graph.Static, m *Matching, maxLen int) int {
-	if maxLen < 1 {
-		return 0
-	}
-	n := g.N()
-	visited := make([]int32, n)
-	for i := range visited {
-		visited[i] = -1
-	}
-	epoch := int32(0)
-	var dfs func(v int32, depth int) bool
-	// dfs looks for an alternating path of ≤ depth edges from the free-side
-	// endpoint v (currently unmatched end of the partial path) to a free
-	// vertex: an unmatched edge to w, then w's matched edge, recursively.
-	dfs = func(v int32, depth int) bool {
-		visited[v] = epoch
-		for _, w := range g.Neighbors(v) {
-			if visited[w] == epoch {
-				continue
-			}
-			mate := m.Mate(w)
-			if mate < 0 {
-				m.Match(v, w)
-				return true
-			}
-			if depth >= 2 && visited[mate] != epoch {
-				visited[w] = epoch
-				m.Unmatch(w)
-				if dfs(mate, depth-2) {
-					m.Match(v, w)
-					return true
-				}
-				m.Match(mate, w)
-			}
-		}
-		return false
-	}
-	augments := 0
-	for {
-		progress := false
-		for v := int32(0); v < int32(n); v++ {
-			if m.IsMatched(v) {
-				continue
-			}
-			epoch++
-			if dfs(v, maxLen) {
-				augments++
-				progress = true
-			}
-		}
-		if !progress {
-			return augments
-		}
-	}
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+	return e.BoundedAugment(g, m, maxLen)
 }
 
 // ApproxGeneral computes an approximate maximum matching of a general graph
@@ -82,8 +35,11 @@ func BoundedAugment(g *graph.Static, m *Matching, maxLen int) int {
 // augmentation sweeps; run it on a sparsifier for the sublinear pipeline of
 // Theorem 3.1.
 func ApproxGeneral(g *graph.Static, eps float64, seed uint64) *Matching {
-	m := GreedyShuffled(g, seed)
-	BoundedAugment(g, m, AugmentLenFor(eps))
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+	m := NewMatching(g.N())
+	e.GreedyShuffledInto(g, m, seed)
+	e.BoundedAugment(g, m, AugmentLenFor(eps))
 	return m
 }
 

@@ -9,6 +9,7 @@ import (
 // Greedy computes a maximal matching by scanning edges in the graph's
 // canonical order and matching any edge with both endpoints free.
 // O(n + m) time; the result is a 2-approximate maximum matching.
+// Engine.GreedyInto is the allocation-free form for repeated calls.
 func Greedy(g *graph.Static) *Matching {
 	m := NewMatching(g.N())
 	g.ForEachEdge(func(u, v int32) {
@@ -22,7 +23,8 @@ func Greedy(g *graph.Static) *Matching {
 // GreedyShuffled computes a maximal matching scanning edges in a uniformly
 // random order. Randomizing the scan order decorrelates the greedy matching
 // from the vertex numbering, which matters when the matching seeds an
-// augmentation process.
+// augmentation process. Engine.GreedyShuffledInto is the bit-identical,
+// allocation-free form for repeated calls.
 func GreedyShuffled(g *graph.Static, seed uint64) *Matching {
 	edges := g.Edges()
 	rng := rand.New(rand.NewPCG(seed, 0xfeed))

@@ -55,6 +55,21 @@ func WrapMates(mate []int32, size int) *Matching {
 	return &Matching{mate: mate, size: size}
 }
 
+// Reset empties the matching in place, reusing the mate array. It is the
+// allocation-free counterpart of NewMatching for engine-driven hot paths.
+func (m *Matching) Reset() {
+	for i := range m.mate {
+		m.mate[i] = -1
+	}
+	m.size = 0
+}
+
+// MatesInto appends the mate array to dst[:0] and returns it, reusing dst's
+// capacity when it suffices — the allocation-free counterpart of Mates.
+func (m *Matching) MatesInto(dst []int32) []int32 {
+	return append(dst[:0], m.mate...)
+}
+
 // N returns the number of vertices the matching is defined over.
 func (m *Matching) N() int { return len(m.mate) }
 

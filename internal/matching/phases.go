@@ -3,71 +3,26 @@ package matching
 import "repro/internal/graph"
 
 // DisjointAugment performs one Hopcroft–Karp-style phase on a general
-// graph: it finds a maximal set of VERTEX-DISJOINT augmenting paths of
-// length at most maxLen (via depth-limited DFS; vertices on accepted paths
-// are frozen for the rest of the phase) and augments along all of them.
-// It returns the number of paths augmented.
+// graph: it discovers candidate augmenting paths of length at most maxLen
+// (edges) from every free vertex against a snapshot of the phase-start
+// matching, commits a vertex-disjoint subset of them in ascending
+// free-endpoint order, and augments along all committed paths. It returns
+// the number of paths augmented.
 //
-// Compared with BoundedAugment's sequential restarts, the disjointness
-// makes each phase's work O(m) and mirrors the phase structure that gives
-// Hopcroft–Karp (and Micali–Vazirani) their O(m/ε) approximation runtime;
-// like BoundedAugment it is exact on bipartite graphs and a heuristic with
-// respect to blossoms in general graphs.
+// This is the sequential entry point to the phase engine's two-stage
+// discover → commit protocol (see Engine); reuse an Engine across phases to
+// shard discovery over a worker pool and to avoid the per-call arena
+// allocation. The result is bit-identical for every worker count.
+//
+// Compared with BoundedAugment's sequential restarts, each phase's work is
+// O(m) and mirrors the phase structure that gives Hopcroft–Karp (and
+// Micali–Vazirani) their O(m/ε) approximation runtime; like BoundedAugment
+// it is exact on bipartite graphs (at the phase-loop fixpoint) and a
+// heuristic with respect to blossoms in general graphs.
 func DisjointAugment(g *graph.Static, m *Matching, maxLen int) int {
-	if maxLen < 1 {
-		return 0
-	}
-	n := g.N()
-	frozen := make([]bool, n) // on an accepted path this phase
-	visited := make([]int32, n)
-	for i := range visited {
-		visited[i] = -1
-	}
-	epoch := int32(0)
-	var path []int32
-	var dfs func(v int32, depth int) bool
-	dfs = func(v int32, depth int) bool {
-		visited[v] = epoch
-		path = append(path, v)
-		for _, w := range g.Neighbors(v) {
-			if visited[w] == epoch || frozen[w] {
-				continue
-			}
-			mate := m.Mate(w)
-			if mate < 0 {
-				m.Match(v, w)
-				path = append(path, w)
-				return true
-			}
-			if depth >= 2 && visited[mate] != epoch && !frozen[mate] {
-				visited[w] = epoch
-				m.Unmatch(w)
-				if dfs(mate, depth-2) {
-					m.Match(v, w)
-					path = append(path, w)
-					return true
-				}
-				m.Match(mate, w)
-			}
-		}
-		path = path[:len(path)-1]
-		return false
-	}
-	augmented := 0
-	for v := int32(0); v < int32(n); v++ {
-		if m.IsMatched(v) || frozen[v] {
-			continue
-		}
-		epoch++
-		path = path[:0]
-		if dfs(v, maxLen) {
-			augmented++
-			for _, x := range path {
-				frozen[x] = true
-			}
-		}
-	}
-	return augmented
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+	return e.DisjointAugment(g, m, maxLen)
 }
 
 // PhaseStructuredApprox computes an approximate maximum matching with the
@@ -75,13 +30,18 @@ func DisjointAugment(g *graph.Static, m *Matching, maxLen int) int {
 // initialization, then for L = 1, 3, …, 2⌈1/ε⌉−1 repeat disjoint-path
 // phases at length L until a phase finds nothing. Aimed at factor 1+ε like
 // ApproxGeneral, with phase-parallel structure (the T13 ablation compares
-// the two).
+// the two; PhaseStructuredApproxOpts shards the phases over workers).
 func PhaseStructuredApprox(g *graph.Static, eps float64, seed uint64) *Matching {
-	m := GreedyShuffled(g, seed)
-	maxLen := AugmentLenFor(eps)
-	for L := 1; L <= maxLen; L += 2 {
-		for DisjointAugment(g, m, L) > 0 {
-		}
-	}
+	return PhaseStructuredApproxOpts(g, eps, seed, Options{Workers: 1})
+}
+
+// PhaseStructuredApproxOpts is PhaseStructuredApprox with explicit engine
+// options. The matching returned is bit-identical for every Workers value;
+// only the wall-clock changes.
+func PhaseStructuredApproxOpts(g *graph.Static, eps float64, seed uint64, opt Options) *Matching {
+	e := NewEngine(opt)
+	defer e.Close()
+	m := NewMatching(g.N())
+	e.PhaseStructuredApproxInto(g, m, eps, seed)
 	return m
 }

@@ -1,0 +1,93 @@
+package testkit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matching"
+	"repro/internal/params"
+)
+
+// TestParallelPhaseEngineConformance holds the parallel phase engine to its
+// determinism contract on the certified conformance families: for workers ∈
+// {1, 2, 8}, the engine's full phase schedule on the sparsifier must produce
+// a matching that is bit-identical (mate-for-mate) to the sequential
+// package-level DisjointAugment schedule, valid on the graph, and hence of
+// identical size. Per-phase augmentation counts are checked too, so a
+// divergence is pinned to the phase where it first appears.
+func TestParallelPhaseEngineConformance(t *testing.T) {
+	const eps = 0.3
+	n, seeds := conformanceScale(t)
+	workerCounts := []int{1, 2, 8}
+	for _, fam := range ConformanceFamilies(192) {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			maxLen := params.AugLen(eps)
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				inst := fam.Make(n, 3300+seed)
+				delta := params.Delta(inst.Beta, eps)
+				sp := core.Sparsify(inst.G, delta, 8800+seed)
+
+				// Sequential reference: greedy + package-level disjoint
+				// phases run to fixpoint at every odd length bound.
+				ref := matching.GreedyShuffled(sp, 5500+seed)
+				var refPhases []int
+				for L := 1; L <= maxLen; L += 2 {
+					for {
+						k := matching.DisjointAugment(sp, ref, L)
+						refPhases = append(refPhases, k)
+						if k == 0 {
+							break
+						}
+					}
+				}
+				refMates := ref.MatesInto(nil)
+
+				for _, w := range workerCounts {
+					e := matching.NewEngine(matching.Options{Workers: w})
+					m := matching.NewMatching(sp.N())
+					e.GreedyShuffledInto(sp, m, 5500+seed)
+					var phases []int
+					for L := 1; L <= maxLen; L += 2 {
+						for {
+							k := e.DisjointAugment(sp, m, L)
+							phases = append(phases, k)
+							if k == 0 {
+								break
+							}
+						}
+					}
+					if err := matching.Verify(sp, m); err != nil {
+						t.Errorf("%s seed %d workers %d: invalid matching: %v", fam.Name, seed, w, err)
+					}
+					if m.Size() != ref.Size() {
+						t.Errorf("%s seed %d workers %d: size %d != sequential %d",
+							fam.Name, seed, w, m.Size(), ref.Size())
+					}
+					if len(phases) != len(refPhases) {
+						t.Errorf("%s seed %d workers %d: %d phases != sequential %d",
+							fam.Name, seed, w, len(phases), len(refPhases))
+					} else {
+						for i := range phases {
+							if phases[i] != refPhases[i] {
+								t.Errorf("%s seed %d workers %d: phase %d augmented %d paths, sequential %d",
+									fam.Name, seed, w, i, phases[i], refPhases[i])
+								break
+							}
+						}
+					}
+					mates := m.MatesInto(nil)
+					for v := range mates {
+						if mates[v] != refMates[v] {
+							t.Errorf("%s seed %d workers %d: mate[%d] = %d, sequential %d (matching not bit-identical)",
+								fam.Name, seed, w, v, mates[v], refMates[v])
+							break
+						}
+					}
+					e.Close()
+				}
+			}
+		})
+	}
+}
