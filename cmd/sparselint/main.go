@@ -1,0 +1,157 @@
+// Command sparselint runs the project's static-analysis checks (see
+// internal/lint) over the module: determinism, noalloc, panicdiscipline,
+// errwrap. It is pure stdlib and loads packages from source, so it needs no
+// build step and no external modules.
+//
+// Usage:
+//
+//	sparselint [-json] [patterns]
+//
+// Patterns follow the go tool's shape: "./..." (the default) lints every
+// package of the enclosing module, "./internal/graph/..." lints a subtree,
+// and a plain directory lints that one package. Exit status is 0 for a clean
+// tree, 1 when findings are reported, and 2 on load or usage errors.
+//
+// With -json, findings are emitted as a single JSON document with the stable
+// schema version "sparselint/v1":
+//
+//	{"version":"sparselint/v1","count":N,"diagnostics":[{"check":...,"file":...,"line":...,"col":...,"message":...}]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Report is the -json output document (schema sparselint/v1).
+type Report struct {
+	Version     string            `json:"version"`
+	Count       int               `json:"count"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+// SchemaVersion identifies the -json output schema.
+const SchemaVersion = "sparselint/v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it lints the patterns relative to the
+// current directory and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparselint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a sparselint/v1 JSON document")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sparselint [-json] [patterns]\n\nchecks:\n")
+		for _, c := range lint.AllChecks() {
+			fmt.Fprintf(stderr, "  %-16s %s\n", c.Name(), c.Doc())
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "sparselint:", err)
+		return 2
+	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "sparselint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		loaded, err := loadPattern(root, cwd, pat)
+		if err != nil {
+			fmt.Fprintln(stderr, "sparselint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	diags := lint.Run(pkgs, lint.AllChecks())
+	// Report paths relative to the module root: stable across machines, and
+	// what the golden CI artifact diffs against.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Report{Version: SchemaVersion, Count: len(diags), Diagnostics: diags}); err != nil {
+			fmt.Fprintln(stderr, "sparselint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadPattern resolves one command-line pattern against the module rooted at
+// root, with relative paths anchored at cwd.
+func loadPattern(root, cwd, pat string) ([]*lint.Package, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "" {
+			pat = "."
+		}
+	} else if pat == "..." {
+		recursive = true
+		pat = "."
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(cwd, dir)
+	}
+	if recursive {
+		return lint.LoadPackages(root, dir)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("package directory %s is outside the module rooted at %s", dir, root)
+	}
+	modPath, pkgs := "", []*lint.Package(nil)
+	modPath, err = lint.ModulePathOf(root)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := lint.NewLoader(root).LoadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg != nil {
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestBrokenTestdataExitsOne pins the CI contract: a package with violations
+// makes the CLI exit 1 and report them.
+func TestBrokenTestdataExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/src/panicdiscipline"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "direct panic call") {
+		t.Errorf("findings missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "panicdiscipline.go:") {
+		t.Errorf("output lacks file positions:\n%s", out.String())
+	}
+}
+
+// TestCleanPackageExitsZero lints a known-clean package.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"../../internal/invariant"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout: %s, stderr: %s)", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestJSONSchemaRoundTrips checks the -json document: stable version string,
+// count matching the diagnostics slice, and unmarshal → marshal fidelity.
+func TestJSONSchemaRoundTrips(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "../../internal/lint/testdata/src/errwrap"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, out.String())
+	}
+	if rep.Version != SchemaVersion {
+		t.Errorf("version = %q, want %q", rep.Version, SchemaVersion)
+	}
+	if rep.Count != len(rep.Diagnostics) || rep.Count == 0 {
+		t.Errorf("count = %d with %d diagnostics", rep.Count, len(rep.Diagnostics))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Check != "errwrap" || d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if strings.Contains(d.File, "\\") || strings.HasPrefix(d.File, "/") {
+			t.Errorf("file %q is not a slash-separated module-relative path", d.File)
+		}
+	}
+	reencoded, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var rep2 Report
+	if err := json.Unmarshal(reencoded, &rep2); err != nil {
+		t.Fatalf("re-unmarshal: %v", err)
+	}
+	if rep2.Version != rep.Version || rep2.Count != rep.Count || len(rep2.Diagnostics) != len(rep.Diagnostics) {
+		t.Errorf("round-trip changed the document: %+v vs %+v", rep, rep2)
+	}
+	for i := range rep.Diagnostics {
+		if rep.Diagnostics[i] != rep2.Diagnostics[i] {
+			t.Errorf("diagnostic %d changed in round-trip: %+v vs %+v", i, rep.Diagnostics[i], rep2.Diagnostics[i])
+		}
+	}
+}
+
+// TestUsageErrorExitsTwo pins flag errors to exit code 2.
+func TestUsageErrorExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestHelpListsEveryCheck keeps the usage text in sync with the registry.
+func TestHelpListsEveryCheck(t *testing.T) {
+	var out, errb bytes.Buffer
+	run([]string{"-h"}, &out, &errb)
+	for _, name := range lint.CheckNames() {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("usage text does not mention check %q:\n%s", name, errb.String())
+		}
+	}
+}

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/params"
 )
 
@@ -21,7 +20,7 @@ import (
 // construction on top (deterministic, bounded degree).
 func BoundedDegreeSparsifier(g *graph.Static, deltaAlpha int) *graph.Static {
 	if deltaAlpha < 1 {
-		panic(fmt.Sprintf("core: deltaAlpha must be >= 1, got %d", deltaAlpha))
+		invariant.Violatef("core: deltaAlpha must be >= 1, got %d", deltaAlpha)
 	}
 	buf := arcs.Get()
 	for v := int32(0); v < int32(g.N()); v++ {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/params"
 	"repro/internal/sparsearray"
 )
@@ -88,7 +89,7 @@ func Sparsify(g *graph.Static, delta int, seed uint64) *graph.Static {
 // Edge-struct list.
 func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 	if opt.Delta < 1 {
-		panic(fmt.Sprintf("core: Delta must be >= 1, got %d", opt.Delta))
+		invariant.Violatef("core: Delta must be >= 1, got %d", opt.Delta)
 	}
 	opt = opt.withDefaults()
 	n := g.N()
@@ -175,7 +176,7 @@ func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64, 
 				buf.Add(v, g.Neighbor(v, i))
 			}
 		default:
-			panic(fmt.Sprintf("core: unknown method %v", opt.Method))
+			invariant.Violatef("core: unknown method %v", opt.Method)
 		}
 	}
 }

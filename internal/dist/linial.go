@@ -1,6 +1,9 @@
 package dist
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/invariant"
+)
 
 // Linial-style distributed coloring (Linial, FOCS'87): starting from the
 // unique ids as an n-coloring, each iteration reduces a proper k-coloring to
@@ -120,7 +123,8 @@ func reduceColor(step colorStep, own int, neighbors []int) int {
 		}
 	}
 	// Unreachable for a proper coloring (at most D·d < q bad points).
-	panic("dist: Linial reduction found no valid evaluation point")
+	invariant.Violatef("dist: Linial reduction found no valid evaluation point")
+	return 0 // unreachable: Violatef never returns
 }
 
 // coloringNode runs the full coloring pipeline:

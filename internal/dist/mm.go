@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/matching"
 )
 
@@ -231,7 +232,7 @@ func collectMatching(g *graph.Static, state func(v int32) (bool, int)) *matching
 		}
 		okW, portW := state(w)
 		if !okW || g.Neighbor(w, portW) != v {
-			panic("dist: inconsistent matching state between endpoints")
+			invariant.Violatef("dist: inconsistent matching state between endpoints")
 		}
 		m.Match(v, w)
 	}
@@ -240,7 +241,7 @@ func collectMatching(g *graph.Static, state func(v int32) (bool, int)) *matching
 		if ok, port := state(v); ok && !m.IsMatched(v) {
 			w := g.Neighbor(v, port)
 			_ = w
-			panic("dist: matched node without a mutual partner")
+			invariant.Violatef("dist: matched node without a mutual partner")
 		}
 	}
 	return m

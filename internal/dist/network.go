@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Msg is a message delivered to a node at the start of a round.
@@ -77,10 +78,10 @@ func (a *NodeAPI) Rand() *rand.Rand { return a.rng }
 // for CONGEST must keep every message within O(log n) bits.
 func (a *NodeAPI) Send(port int, payload any, bits int) {
 	if port < 0 || port >= a.Degree() {
-		panic(fmt.Sprintf("dist: node %d sending on invalid port %d (degree %d)", a.id, port, a.Degree()))
+		invariant.Violatef("dist: node %d sending on invalid port %d (degree %d)", a.id, port, a.Degree())
 	}
 	if b := a.network.bitBudget; b > 0 && bits > b {
-		panic(fmt.Sprintf("dist: node %d message of %d bits exceeds the CONGEST budget %d", a.id, bits, b))
+		invariant.Violatef("dist: node %d message of %d bits exceeds the CONGEST budget %d", a.id, bits, b)
 	}
 	a.outbox = append(a.outbox, outMsg{from: a.id, port: port, payload: payload, bits: bits})
 }
@@ -323,6 +324,7 @@ func NewNetwork(g *graph.Static, factory func(v int32) Program, seed uint64) *Ne
 func (nw *Network) Run(maxRounds int) Stats {
 	stats, err := nw.RunChecked(maxRounds)
 	if err != nil {
+		//lint:ignore panicdiscipline documented panic-wrapper over the error-returning RunChecked
 		panic(err)
 	}
 	return stats
@@ -514,7 +516,7 @@ func portOf(g *graph.Static, v, u int32) int {
 		}
 	}
 	if lo >= len(nb) || nb[lo] != u {
-		panic(fmt.Sprintf("dist: %d is not a neighbor of %d", u, v))
+		invariant.Violatef("dist: %d is not a neighbor of %d", u, v)
 	}
 	return lo
 }

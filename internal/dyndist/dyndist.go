@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/matching"
 	"repro/internal/params"
 )
@@ -54,7 +55,7 @@ type Network struct {
 // with per-vertex mark capacity delta.
 func NewNetwork(n, delta int, seed uint64) *Network {
 	if n < 0 || delta < 1 {
-		panic(fmt.Sprintf("dyndist: bad parameters n=%d delta=%d", n, delta))
+		invariant.Violatef("dyndist: bad parameters n=%d delta=%d", n, delta)
 	}
 	nw := &Network{
 		g:     graph.NewDynamic(n),

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/matching"
 )
 
@@ -66,7 +67,7 @@ func (mt *Maintainer) Snapshot() *Checkpoint {
 	if err != nil {
 		// rand/v2 PCG marshaling cannot fail; a failure means memory
 		// corruption, not a recoverable condition.
-		panic("dynmatch: PCG state not serializable: " + err.Error())
+		invariant.Violatef("dynmatch: PCG state not serializable: %v", err)
 	}
 	gAdj := make([][]int32, mt.g.N())
 	for v := range gAdj {

@@ -1,9 +1,8 @@
 package gen
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // CliqueMinusEdge returns K_n with the single edge {u, v} removed — the
@@ -11,7 +10,7 @@ import (
 // β of these graphs is 2, and they contain a perfect matching for even n.
 func CliqueMinusEdge(n int, u, v int32) *graph.Static {
 	if u == v || u < 0 || v < 0 || int(u) >= n || int(v) >= n {
-		panic(fmt.Sprintf("gen: bad non-edge (%d,%d) for n=%d", u, v, n))
+		invariant.Violatef("gen: bad non-edge (%d,%d) for n=%d", u, v, n)
 	}
 	skip := graph.Edge{U: u, V: v}.Canonical()
 	b := graph.NewBuilder(n)
@@ -35,7 +34,7 @@ func CliqueMinusEdge(n int, u, v int32) *graph.Static {
 // one vertex exposed). It returns the graph and the bridge edge.
 func TwoCliquesBridge(half int) (*graph.Static, graph.Edge) {
 	if half < 3 || half%2 == 0 {
-		panic(fmt.Sprintf("gen: TwoCliquesBridge needs odd half >= 3, got %d", half))
+		invariant.Violatef("gen: TwoCliquesBridge needs odd half >= 3, got %d", half)
 	}
 	n := 2 * half
 	b := graph.NewBuilder(n)

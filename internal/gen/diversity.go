@@ -2,8 +2,10 @@ package gen
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // BoundedDiversity returns a graph on n vertices built as a union of cliques
@@ -20,7 +22,7 @@ import (
 // "possibly dense graphs with small β" regime the paper targets.
 func BoundedDiversity(n, k, cliqueSize int, seed uint64) *graph.Static {
 	if k < 1 || cliqueSize < 2 {
-		panic(fmt.Sprintf("gen: BoundedDiversity needs k >= 1, cliqueSize >= 2 (got %d, %d)", k, cliqueSize))
+		invariant.Violatef("gen: BoundedDiversity needs k >= 1, cliqueSize >= 2 (got %d, %d)", k, cliqueSize)
 	}
 	r := rng(seed)
 	numCliques := n * k / cliqueSize
@@ -34,7 +36,12 @@ func BoundedDiversity(n, k, cliqueSize int, seed uint64) *graph.Static {
 		for len(chosen) < k && len(chosen) < numCliques {
 			chosen[r.IntN(numCliques)] = true
 		}
+		cliques := make([]int, 0, len(chosen))
 		for c := range chosen {
+			cliques = append(cliques, c)
+		}
+		sort.Ints(cliques)
+		for _, c := range cliques {
 			members[c] = append(members[c], v)
 		}
 	}

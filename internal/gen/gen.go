@@ -13,11 +13,11 @@
 package gen
 
 import (
-	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Instance is a generated graph together with a certified upper bound on its
@@ -59,7 +59,7 @@ func Path(n int) *graph.Static {
 // Cycle returns the cycle C_n (n >= 3).
 func Cycle(n int) *graph.Static {
 	if n < 3 {
-		panic(fmt.Sprintf("gen: cycle needs n >= 3, got %d", n))
+		invariant.Violatef("gen: cycle needs n >= 3, got %d", n)
 	}
 	b := graph.NewBuilder(n)
 	for v := int32(0); v < int32(n); v++ {
@@ -94,7 +94,7 @@ func CompleteBipartite(a, b int) *graph.Static {
 // to the output size.
 func ErdosRenyi(n int, p float64, seed uint64) *graph.Static {
 	if p < 0 || p > 1 {
-		panic(fmt.Sprintf("gen: probability %v out of [0,1]", p))
+		invariant.Violatef("gen: probability %v out of [0,1]", p)
 	}
 	b := graph.NewBuilder(n)
 	if p == 0 || n < 2 {

@@ -1,10 +1,10 @@
 package gen
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // QuasiUnitDisk returns a quasi-unit-disk graph (Kuhn–Wattenhofer–Zollinger,
@@ -20,7 +20,7 @@ import (
 // rOuter + rInner/2 around v.
 func QuasiUnitDisk(n int, rInner, rOuter float64, seed uint64) *graph.Static {
 	if rInner <= 0 || rOuter < rInner {
-		panic(fmt.Sprintf("gen: need 0 < rInner <= rOuter, got %v, %v", rInner, rOuter))
+		invariant.Violatef("gen: need 0 < rInner <= rOuter, got %v, %v", rInner, rOuter)
 	}
 	r := rng(seed)
 	pts := make([]Point, n)

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"repro/internal/invariant"
 )
 
 // Dynamic is a mutable undirected graph over a fixed vertex set supporting
@@ -22,7 +24,7 @@ type Dynamic struct {
 // NewDynamic returns an empty dynamic graph on n vertices.
 func NewDynamic(n int) *Dynamic {
 	if n < 0 {
-		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+		invariant.Violatef("graph: negative vertex count %d", n)
 	}
 	d := &Dynamic{
 		adj: make([][]int32, n),

@@ -13,6 +13,8 @@ package graph
 import (
 	"fmt"
 	"slices"
+
+	"repro/internal/invariant"
 )
 
 // Edge is an undirected edge between vertices U and V.
@@ -38,7 +40,8 @@ func (e Edge) Other(v int32) int32 {
 	case e.V:
 		return e.U
 	}
-	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+	invariant.Violatef("graph: vertex %d is not an endpoint of edge %v", v, e)
+	return -1 // unreachable: Violatef never returns
 }
 
 // Static is an immutable undirected graph in adjacency-array form.
@@ -186,7 +189,7 @@ type Builder struct {
 // NewBuilder returns a Builder for a graph on n vertices (0..n-1).
 func NewBuilder(n int) *Builder {
 	if n < 0 {
-		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+		invariant.Violatef("graph: negative vertex count %d", n)
 	}
 	return &Builder{n: n}
 }
@@ -195,7 +198,7 @@ func NewBuilder(n int) *Builder {
 // It panics if an endpoint is out of range.
 func (b *Builder) AddEdge(u, v int32) {
 	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+		invariant.Violatef("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
 	}
 	if u == v {
 		return
@@ -272,7 +275,7 @@ func FromSortedArcs(n int, keys []uint64) *Static {
 	prev := uint64(0)
 	for i, k := range keys {
 		if i > 0 && k < prev {
-			panic(fmt.Sprintf("graph: FromSortedArcs keys not sorted at index %d", i))
+			invariant.Violatef("graph: FromSortedArcs keys not sorted at index %d", i)
 		}
 		prev = k
 		u, v := k>>32, k&0xffffffff

@@ -1,0 +1,35 @@
+// Package invariant is the single blessed escape hatch for violated internal
+// invariants. Library code must not call panic directly (enforced by the
+// sparselint panicdiscipline check); instead it reports "this cannot happen"
+// states through Violatef, which makes every deliberate crash in the tree
+// greppable, uniformly formatted, and auditable against the error-returning
+// discipline for user-input-reachable failures.
+//
+// The rule of thumb: if a condition can be triggered by caller input (a
+// malformed trace file, an out-of-range parameter from a CLI flag), the
+// function must return an error. If the condition can only arise from a bug
+// inside this module (a mate array that is not an involution, a worker count
+// that survived resolution as zero), it is an invariant violation and
+// Violatef is the right call.
+package invariant
+
+import "fmt"
+
+// Violation is the panic value raised by Violatef. Recovering code can
+// distinguish deliberate invariant crashes from stray runtime panics by type.
+type Violation struct {
+	// Msg is the fully formatted violation message.
+	Msg string
+}
+
+// Error makes a Violation usable as an error by code that recovers it.
+func (v *Violation) Error() string { return "invariant violation: " + v.Msg }
+
+func (v *Violation) String() string { return v.Error() }
+
+// Violatef reports a violated internal invariant and never returns. The
+// format and args follow fmt.Sprintf; messages should be prefixed with the
+// owning package name ("matching: ...") like the panic messages they replace.
+func Violatef(format string, args ...any) {
+	panic(&Violation{Msg: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,29 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViolatefPanicsWithViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Violatef did not panic")
+		}
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("panic value is %T, want *Violation", r)
+		}
+		if v.Msg != "pkg: bad count 7" {
+			t.Fatalf("Msg = %q", v.Msg)
+		}
+		if !strings.HasPrefix(v.Error(), "invariant violation: ") {
+			t.Fatalf("Error() = %q, want invariant violation prefix", v.Error())
+		}
+		if v.String() != v.Error() {
+			t.Fatalf("String() = %q != Error() = %q", v.String(), v.Error())
+		}
+	}()
+	Violatef("pkg: bad count %d", 7)
+}

@@ -1,0 +1,24 @@
+package lint
+
+// AllChecks returns the full check catalog, in the order diagnostics are
+// documented in DESIGN.md §8. Adding a check means implementing the Check
+// interface, listing it here, and giving it a golden testdata package under
+// internal/lint/testdata/<name>/.
+func AllChecks() []Check {
+	return []Check{
+		Determinism{},
+		NoAlloc{},
+		PanicDiscipline{},
+		ErrWrap{},
+	}
+}
+
+// CheckNames returns the names of all registered checks.
+func CheckNames() []string {
+	checks := AllChecks()
+	names := make([]string, len(checks))
+	for i, c := range checks {
+		names[i] = c.Name()
+	}
+	return names
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproducibility contract on library packages: the
+// matchings, traces, and accounting the module commits to disk are
+// bit-identical across runs (PR 3's zero-fault byte-identity, PR 4's
+// identical-for-every-worker-count engine), which forbids three classes of
+// nondeterminism in library code:
+//
+//  1. wall-clock reads (time.Now, time.Since);
+//  2. draws from the global math/rand source — every random decision must
+//     flow from an explicitly seeded *rand.Rand / PCG so a seed pins the run;
+//  3. map iteration whose order can leak into results: a for-range over a map
+//     whose body appends to a slice, sends on a channel, or writes output.
+//
+// Commands (cmd/, examples/) and the experiment harness are exempt; tests are
+// never loaded.
+type Determinism struct{}
+
+func (Determinism) Name() string { return "determinism" }
+
+func (Determinism) Doc() string {
+	return "library code must not read wall clocks, draw from the global math/rand source, or leak map iteration order into slices, channels, or output"
+}
+
+// globalRandExempt lists the package-level functions of math/rand and
+// math/rand/v2 that do NOT draw from the global source: constructors for
+// explicitly seeded generators.
+var globalRandExempt = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+func (Determinism) Run(pass *Pass) {
+	if !libraryPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(pass.Info, n, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now in library code breaks run reproducibility; thread a timestamp in from the caller")
+				}
+				if isPkgFunc(pass.Info, n, "time", "Since") {
+					pass.Reportf(n.Pos(), "time.Since reads the wall clock; thread durations in from the caller")
+				}
+				if path, name, isMethod := funcPkgPath(pass.Info, n); !isMethod &&
+					(path == "math/rand" || path == "math/rand/v2") && !globalRandExempt[name] {
+					pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand source; use an explicitly seeded *rand.Rand", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags for-range statements over map values whose body
+// performs an order-sensitive effect. Iterating a map to fill another map,
+// sum a counter, or find a max is fine; appending, sending, and printing all
+// bake the (randomized) iteration order into an observable artifact.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isKeyCollectionLoop(rng) {
+		// `for k := range m { keys = append(keys, k) }` is the canonical
+		// collect-then-sort idiom this check recommends; flagging it would
+		// make the advice self-defeating. The subsequent sort is the
+		// caller's responsibility.
+		return
+	}
+	reportEffects(pass, rng.Body)
+}
+
+// isKeyCollectionLoop matches the exempt shape: a single-statement body
+// `keys = append(keys, k)` where k is the loop's key variable.
+func isKeyCollectionLoop(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// reportEffects flags the order-sensitive effects inside a map-range body.
+func reportEffects(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration leaks map order; collect and sort keys first")
+		case *ast.CallExpr:
+			if isBuiltinCall(pass.Info, n, "append") {
+				pass.Reportf(n.Pos(), "append inside map iteration leaks map order into the slice; collect and sort keys first")
+				return true
+			}
+			if path, name, _ := funcPkgPath(pass.Info, n); path == "fmt" &&
+				(name == "Print" || name == "Println" || name == "Printf" ||
+					name == "Fprint" || name == "Fprintln" || name == "Fprintf") {
+				pass.Reportf(n.Pos(), "fmt.%s inside map iteration emits output in map order; collect and sort keys first", name)
+			}
+		}
+		return true
+	})
+}

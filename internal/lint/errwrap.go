@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrap enforces error wrapping: a fmt.Errorf call that formats an
+// error-typed operand must use the %w verb, so errors.Is / errors.As keep
+// seeing the cause through the added context. Formatting an error with %v or
+// %s flattens it to text and severs the chain.
+//
+// %T is exempt (printing an error's type does not embed the error), and
+// operands whose static type does not implement error are ignored.
+type ErrWrap struct{}
+
+func (ErrWrap) Name() string { return "errwrap" }
+
+func (ErrWrap) Doc() string {
+	return "fmt.Errorf must wrap error operands with %w, not flatten them with %v or %s"
+}
+
+func (ErrWrap) Run(pass *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringConstant(pass.Info, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, v := range parseVerbs(format) {
+				argIdx := 1 + v.arg // args[0] is the format string
+				if v.verb == 'w' || v.verb == 'T' || argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if types.Implements(tv.Type, errIface) || types.Implements(types.NewPointer(tv.Type), errIface) {
+					pass.Reportf(arg.Pos(), "error formatted with %%%c severs the error chain; wrap it with %%w", v.verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// stringConstant resolves expr to a compile-time string (literal or
+// constant), the only format strings the check can reason about.
+func stringConstant(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbUse is one formatting verb and the zero-based operand index it
+// consumes.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs scans a Printf-style format string and pairs each verb with its
+// operand index, handling flags, *-widths (which consume an operand), and
+// explicit [n] argument indexes.
+func parseVerbs(format string) []verbUse {
+	var uses []verbUse
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue // literal %%
+		}
+		// Flags.
+		for i < len(runes) {
+			switch runes[i] {
+			case '+', '-', '#', ' ', '0', '\'':
+				i++
+				continue
+			}
+			break
+		}
+		// Width and precision; each * consumes an int operand.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		// Explicit argument index [n].
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = 10*n + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		uses = append(uses, verbUse{verb: runes[i], arg: arg})
+		arg++
+	}
+	return uses
+}

@@ -1,0 +1,124 @@
+// Package lint is a pure-stdlib static-analysis driver (go/parser + go/types)
+// that enforces this module's coding contracts — determinism, hot-path
+// allocation discipline, panic discipline, and error wrapping — as
+// position-accurate lint diagnostics. It has no dependencies outside the
+// standard library, so go.mod stays empty; the CLI front end is
+// cmd/sparselint and the catalog of checks lives in checks.go.
+//
+// Findings can be suppressed at a specific site with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or on the line directly above it. The reason is
+// mandatory, and naming a check the driver does not know is itself a
+// diagnostic — a suppression must never rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Check is one analysis pass. Run inspects a single type-checked package and
+// reports findings through the Pass.
+type Check interface {
+	// Name is the short identifier used in diagnostics and suppression
+	// comments (e.g. "determinism").
+	Name() string
+	// Doc is a one-line description for -help output and DESIGN.md.
+	Doc() string
+	// Run analyzes one package.
+	Run(pass *Pass)
+}
+
+// Pass hands one type-checked package to a Check and collects its findings.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package import path ("repro/internal/graph").
+	Path string
+	// Pkg and Info hold the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+	// Files are the parsed non-test source files of the package.
+	Files []*ast.File
+
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, in the stable schema emitted by sparselint -json
+// (version sparselint/v1).
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the classic file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// Run applies every check to every package, honors //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by file, line,
+// column, then check name. Suppression comments naming unknown checks are
+// reported as findings of the built-in "lint" pseudo-check.
+func Run(pkgs []*Package, checks []Check) []Diagnostic {
+	known := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		known[c.Name()] = true
+	}
+
+	var diags []Diagnostic
+	var sup []suppression
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Path:  pkg.Path,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+				Files: pkg.Files,
+				check: c.Name(),
+				diags: &diags,
+			}
+			c.Run(pass)
+		}
+		s, bad := collectSuppressions(pkg, known)
+		sup = append(sup, s...)
+		diags = append(diags, bad...)
+	}
+
+	diags = applySuppressions(diags, sup)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc enforces the steady-state zero-allocation contract on functions
+// annotated
+//
+//	//sparse:noalloc
+//
+// in their doc comment (the PR-4 engine hot paths, each pinned by a
+// testing.AllocsPerRun assertion — see DESIGN.md §7). Inside an annotated
+// function it flags the constructs that heap-allocate on every call:
+//
+//   - make, new, and address-of composite literals (&T{...});
+//   - append whose destination is not rooted at the receiver, a parameter,
+//     or a function-local variable (i.e. appends that grow memory the
+//     function does not own as an arena);
+//   - string concatenation (+ on strings builds a fresh string);
+//   - any call into fmt (formatting always allocates);
+//   - closure creation (func literals).
+//
+// Deliberate warm-up/growth allocations inside an annotated function carry a
+// //lint:ignore noalloc suppression naming the arena they grow. Calls to
+// invariant.Violatef are exempt wholesale: invariant failures are terminal,
+// so their formatting cost is irrelevant.
+//
+// The check is lexical — it does not chase allocations into callees — which
+// is exactly the granularity of the AllocsPerRun assertions it mirrors.
+type NoAlloc struct{}
+
+func (NoAlloc) Name() string { return "noalloc" }
+
+func (NoAlloc) Doc() string {
+	return "functions annotated //sparse:noalloc must not allocate: no make/new/&composite, no foreign appends, no string +, no fmt, no closures"
+}
+
+// noallocMarker is the annotation, written as its own line in the function's
+// doc comment.
+const noallocMarker = "sparse:noalloc"
+
+func (NoAlloc) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasMarker(fn.Doc) {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == noallocMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isViolatefCall(pass.Info, n) {
+				return false // terminal invariant path: formatting cost is irrelevant
+			}
+			switch {
+			case isBuiltinCall(pass.Info, n, "make"):
+				pass.Reportf(n.Pos(), "make in //sparse:noalloc function; preallocate in an engine arena")
+			case isBuiltinCall(pass.Info, n, "new"):
+				pass.Reportf(n.Pos(), "new in //sparse:noalloc function; preallocate in an engine arena")
+			case isBuiltinCall(pass.Info, n, "append"):
+				if len(n.Args) > 0 && !ownedRoot(pass, fn, n.Args[0]) {
+					pass.Reportf(n.Pos(), "append to a slice the function does not own in //sparse:noalloc function")
+				}
+			default:
+				if path, name, _ := funcPkgPath(pass.Info, n); path == "fmt" {
+					pass.Reportf(n.Pos(), "fmt.%s allocates in //sparse:noalloc function", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address-of composite literal escapes in //sparse:noalloc function")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation allocates in //sparse:noalloc function")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure creation allocates in //sparse:noalloc function")
+			return false // the closure body runs under its own contract
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// isViolatefCall reports whether call is invariant.Violatef — the blessed
+// terminal-panic helper (see the panicdiscipline check).
+func isViolatefCall(info *types.Info, call *ast.CallExpr) bool {
+	path, name, isMethod := funcPkgPath(info, call)
+	return !isMethod && name == "Violatef" && blessedInvariantPkg(path)
+}
+
+// ownedRoot reports whether the destination slice expression is rooted at a
+// variable the function owns: its receiver, a parameter, or a local. Walks
+// through selectors, indexing, derefs, and parens to the base identifier —
+// e.g. e.ws[w].paths roots at the receiver e.
+func ownedRoot(pass *Pass, fn *ast.FuncDecl, dst ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(dst).(type) {
+		case *ast.SelectorExpr:
+			dst = x.X
+		case *ast.IndexExpr:
+			dst = x.X
+		case *ast.StarExpr:
+			dst = x.X
+		case *ast.SliceExpr:
+			dst = x.X
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return false
+			}
+			// Receiver, parameters, and locals are all declared inside the
+			// function's source range; package-level vars are not.
+			return v.Pos() >= fn.Pos() && v.Pos() <= fn.End()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicDiscipline forbids direct panic calls in library code. Every
+// cannot-happen state goes through the single blessed helper
+// internal/invariant.Violatef, so deliberate crashes are uniformly formatted
+// and greppable, and user-input-reachable failures are forced onto the
+// error-returning path (a function that wants to reject caller input cannot
+// reach for panic without tripping this check in review).
+//
+// The invariant package itself is exempt — it hosts the one real panic — as
+// are command mains (cmd/, examples/), where panicking on a setup error is
+// ordinary top-level error handling; test files are never loaded by the
+// driver.
+type PanicDiscipline struct{}
+
+func (PanicDiscipline) Name() string { return "panicdiscipline" }
+
+func (PanicDiscipline) Doc() string {
+	return "library code must not call panic directly; report invariant violations through internal/invariant.Violatef"
+}
+
+// blessedInvariantPkg reports whether path is the invariant helper package,
+// the only place a panic call is allowed.
+func blessedInvariantPkg(path string) bool {
+	return path == "internal/invariant" || strings.HasSuffix(path, "/internal/invariant")
+}
+
+func (PanicDiscipline) Run(pass *Pass) {
+	if blessedInvariantPkg(pass.Path) || !libraryPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinCall(pass.Info, call, "panic") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct panic call; report invariant violations through invariant.Violatef, or return an error if callers can trigger this")
+			return true
+		})
+	}
+}

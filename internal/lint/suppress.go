@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppression is one parsed //lint:ignore comment: it silences diagnostics of
+// the named check that land in file on the comment's own line or the line
+// directly below it (so both end-of-line and standalone-above placements
+// work).
+type suppression struct {
+	file  string
+	line  int
+	check string
+}
+
+// ignorePrefix is the comment marker, following the staticcheck convention.
+const ignorePrefix = "lint:ignore"
+
+// collectSuppressions scans a package's comments for //lint:ignore markers.
+// Malformed markers (missing check name or reason) and markers naming a check
+// the driver does not know are returned as diagnostics of the "lint"
+// pseudo-check, so suppressions cannot silently rot when a check is renamed.
+func collectSuppressions(pkg *Package, known map[string]bool) (sup []suppression, bad []Diagnostic) {
+	report := func(pos int, line int, file string, msg string) {
+		bad = append(bad, Diagnostic{
+			Check:   "lint",
+			File:    file,
+			Line:    line,
+			Col:     pos,
+			Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					report(position.Column, position.Line, position.Filename,
+						"malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"")
+				case len(fields) == 1:
+					report(position.Column, position.Line, position.Filename,
+						"//lint:ignore "+fields[0]+" is missing a reason")
+				case !known[fields[0]]:
+					report(position.Column, position.Line, position.Filename,
+						"//lint:ignore names unknown check "+fields[0])
+				default:
+					sup = append(sup, suppression{
+						file:  position.Filename,
+						line:  position.Line,
+						check: fields[0],
+					})
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// applySuppressions drops diagnostics covered by a suppression. A
+// suppression covers its own line and the next line of the same file, for
+// the matching check only; the "lint" pseudo-check is never suppressible.
+func applySuppressions(diags []Diagnostic, sup []suppression) []Diagnostic {
+	if len(sup) == 0 {
+		return diags
+	}
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	covered := make(map[key]bool, 2*len(sup))
+	for _, s := range sup {
+		covered[key{s.file, s.line, s.check}] = true
+		covered[key{s.file, s.line + 1, s.check}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Check != "lint" && covered[key{d.File, d.Line, d.Check}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

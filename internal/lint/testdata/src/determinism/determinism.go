@@ -1,0 +1,59 @@
+// Package determinism is golden testdata for the determinism check.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func clocks() time.Time {
+	t := time.Now()   // want "time.Now in library code breaks run reproducibility"
+	_ = time.Since(t) // want "time.Since reads the wall clock"
+	return t
+}
+
+func globalRand() int {
+	randv2.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global math/rand source"
+	_ = rand.Int()                       // want "rand.Int draws from the global math/rand source"
+	_ = randv2.IntN(7)                   // want "rand.IntN draws from the global math/rand source"
+	return randv2.Int()                  // want "rand.Int draws from the global math/rand source"
+}
+
+func seededRandOK() int {
+	r := randv2.New(randv2.NewPCG(1, 2)) // seeded constructors are exempt
+	r.Shuffle(3, func(i, j int) {})
+	src := rand.New(rand.NewSource(42))
+	return r.IntN(7) + src.Intn(7)
+}
+
+func mapOrderLeaks(m map[string]int, ch chan string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k, k) // want "append inside map iteration leaks map order"
+	}
+	for k := range m {
+		ch <- k // want "channel send inside map iteration leaks map order"
+	}
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration emits output in map order"
+	}
+	return out
+}
+
+func mapOrderFine(m map[string]int) map[string]bool {
+	// The canonical collect-then-sort idiom is exempt.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Order-insensitive accumulation is fine.
+	sum := 0
+	set := make(map[string]bool, len(m))
+	for k, v := range m {
+		sum += v
+		set[k] = true
+	}
+	return set
+}

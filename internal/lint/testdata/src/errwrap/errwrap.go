@@ -1,0 +1,54 @@
+// Package errwrap is golden testdata for the errwrap check.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+type myErr struct{}
+
+func (*myErr) Error() string { return "my" }
+
+func flattened(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want "error formatted with %v severs the error chain"
+}
+
+func flattenedString(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want "error formatted with %s severs the error chain"
+}
+
+func concrete() error {
+	e := &myErr{}
+	return fmt.Errorf("op: %v", e) // want "error formatted with %v severs the error chain"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("load failed: %w", err) // %w: fine
+}
+
+func typeOnly(err error) error {
+	return fmt.Errorf("unexpected error type %T", err) // %T: fine
+}
+
+func nonError(name string, n int) error {
+	return fmt.Errorf("bad value %q at %d", name, n) // no error operands: fine
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("pad %*d then %v", 8, 1, err) // want "error formatted with %v severs the error chain"
+}
+
+func indexed(err error) error {
+	return fmt.Errorf("twice: %[1]v %[1]v", err) // want "error formatted with %v severs the error chain"
+}
+
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // non-constant format: skipped
+}
+
+var errSentinel = errors.New("sentinel")
+
+func sentinel() error {
+	return fmt.Errorf("op: %w", errSentinel) // fine
+}

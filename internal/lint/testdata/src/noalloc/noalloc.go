@@ -1,0 +1,53 @@
+// Package noalloc is golden testdata for the noalloc check.
+package noalloc
+
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
+type thing struct{ id int }
+
+type engine struct {
+	arena []int
+	buf   []thing
+}
+
+var global []int
+
+//sparse:noalloc
+func (e *engine) hot(n int, dst []int) []int {
+	s := make([]int, n) // want "make in //sparse:noalloc function"
+	p := new(thing)     // want "new in //sparse:noalloc function"
+	t := &thing{id: n}  // want "address-of composite literal escapes"
+	_ = func() int {    // want "closure creation allocates"
+		return n
+	}
+	msg := fmt.Sprintf("n=%d", n) // want `fmt.Sprintf allocates in //sparse:noalloc function`
+	msg = msg + "!"               // want "string concatenation allocates"
+	_ = msg
+
+	global = append(global, n) // want "append to a slice the function does not own"
+
+	e.arena = append(e.arena, n)        // receiver arena: fine
+	e.buf = append(e.buf, thing{id: n}) // receiver arena, value literal: fine
+	local := e.arena[:0]
+	local = append(local, n) // local variable: fine
+	dst = append(dst, n)     // parameter: fine
+
+	if n < 0 {
+		// The blessed terminal path is exempt wholesale.
+		invariant.Violatef("noalloc: bad n %d", n)
+	}
+	_, _ = s, p
+	_ = t
+	return dst
+}
+
+// unannotated allocates freely without findings.
+func (e *engine) unannotated(n int) []int {
+	s := make([]int, n)
+	global = append(global, n)
+	return s
+}

@@ -1,0 +1,41 @@
+// Package panicdiscipline is golden testdata for the panicdiscipline check.
+package panicdiscipline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
+func direct(n int) {
+	if n < 0 {
+		panic("bad n") // want "direct panic call; report invariant violations through invariant.Violatef"
+	}
+}
+
+func formatted(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // want "direct panic call"
+	}
+}
+
+func blessed(n int) {
+	if n < 0 {
+		invariant.Violatef("pkg: bad n %d", n) // the blessed helper: fine
+	}
+}
+
+func errorPath(n int) error {
+	if n < 0 {
+		return errors.New("bad n") // returning errors: fine
+	}
+	return nil
+}
+
+func wrapper() {
+	if err := errorPath(-1); err != nil {
+		//lint:ignore panicdiscipline documented panic-wrapper testdata
+		panic(err)
+	}
+}

@@ -1,0 +1,37 @@
+// Package suppress is golden testdata for the driver's //lint:ignore
+// handling: same-line and line-above placements are honored; a suppression
+// for the wrong check, or naming an unknown check, does not silence anything.
+package suppress
+
+func sameLine(n int) {
+	if n < 0 {
+		panic("boom") //lint:ignore panicdiscipline testdata same-line suppression
+	}
+}
+
+func lineAbove(n int) {
+	if n < 0 {
+		//lint:ignore panicdiscipline testdata line-above suppression
+		panic("boom")
+	}
+}
+
+func unsuppressed(n int) {
+	if n < 0 {
+		panic("boom") // want "direct panic call"
+	}
+}
+
+//lint:ignore nosuchcheck the unknown check is reported and nothing is suppressed // want "names unknown check nosuchcheck"
+func unknownCheck(n int) {
+	if n < 0 {
+		panic("boom") // want "direct panic call"
+	}
+}
+
+func wrongCheckName(n int) {
+	if n < 0 {
+		//lint:ignore errwrap wrong check does not suppress
+		panic("boom") // want "direct panic call"
+	}
+}

@@ -1,0 +1,10 @@
+// Package suppressbad holds malformed //lint:ignore markers whose expected
+// diagnostics are asserted directly in the driver tests (a marker with no
+// reason cannot carry a same-line want comment).
+package suppressbad
+
+//lint:ignore panicdiscipline
+func missingReason() {}
+
+//lint:ignore
+func missingEverything() {}

@@ -14,9 +14,8 @@
 package lowerbound
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Oracle is the adaptive adversary of Lemma 2.13 for an n-vertex instance
@@ -32,7 +31,7 @@ type Oracle struct {
 // with per-vertex probe budget delta (requires Δ < n/2 as in the lemma).
 func NewOracle(n, delta int) *Oracle {
 	if delta < 1 || delta >= n/2 {
-		panic(fmt.Sprintf("lowerbound: need 1 <= Δ < n/2, got Δ=%d n=%d", delta, n))
+		invariant.Violatef("lowerbound: need 1 <= Δ < n/2, got Δ=%d n=%d", delta, n)
 	}
 	return &Oracle{n: n, delta: delta, answered: make(map[int32][]int32)}
 }
@@ -50,11 +49,11 @@ func (o *Oracle) D(v int32) bool { return int(v) < o.delta }
 // if u's probe budget Δ is exhausted — the model of the lemma.
 func (o *Oracle) Probe(u int32) int32 {
 	if u < 0 || int(u) >= o.n {
-		panic(fmt.Sprintf("lowerbound: probe on invalid vertex %d", u))
+		invariant.Violatef("lowerbound: probe on invalid vertex %d", u)
 	}
 	prev := o.answered[u]
 	if len(prev) >= o.delta {
-		panic(fmt.Sprintf("lowerbound: vertex %d exceeded its %d-probe budget", u, o.delta))
+		invariant.Violatef("lowerbound: vertex %d exceeded its %d-probe budget", u, o.delta)
 	}
 	o.probes++
 	given := make(map[int32]bool, len(prev))

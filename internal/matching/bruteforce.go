@@ -1,9 +1,8 @@
 package matching
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // BruteForceSize computes the exact maximum matching size by exhaustive
@@ -13,7 +12,7 @@ import (
 func BruteForceSize(g *graph.Static) int {
 	n := g.N()
 	if n > 62 {
-		panic(fmt.Sprintf("matching: BruteForceSize limited to 62 vertices, got %d", n))
+		invariant.Violatef("matching: BruteForceSize limited to 62 vertices, got %d", n)
 	}
 	memo := make(map[uint64]int)
 	var solve func(avail uint64) int

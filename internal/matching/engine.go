@@ -1,11 +1,11 @@
 package matching
 
 import (
-	"fmt"
 	"math/rand/v2"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/params"
 )
 
@@ -125,7 +125,7 @@ const blockSize = 64
 func NewEngine(opt Options) *Engine {
 	opt = opt.resolved()
 	if opt.Workers < 1 {
-		panic(fmt.Sprintf("matching: Workers must be >= 1 after resolution, got %d", opt.Workers))
+		invariant.Violatef("matching: Workers must be >= 1 after resolution, got %d", opt.Workers)
 	}
 	e := &Engine{workers: opt.Workers, ws: make([]searcher, opt.Workers)}
 	e.rng = rand.New(&e.pcg)
@@ -169,13 +169,15 @@ func (e *Engine) ensure(n int) {
 // (no candidate found from any free vertex ⟺ no ≤ maxLen augmenting path is
 // reachable by the visited-marked DFS) and a heuristic with respect to
 // blossoms in general graphs, like the sequential search it parallelizes.
+//
+//sparse:noalloc
 func (e *Engine) DisjointAugment(g *graph.Static, m *Matching, maxLen int) int {
 	if maxLen < 1 {
 		return 0
 	}
 	n := g.N()
 	if m.N() != n {
-		panic(fmt.Sprintf("matching: matching over %d vertices, graph has %d", m.N(), n))
+		invariant.Violatef("matching: matching over %d vertices, graph has %d", m.N(), n)
 	}
 	e.ensure(n)
 
@@ -191,6 +193,7 @@ func (e *Engine) DisjointAugment(g *graph.Static, m *Matching, maxLen int) int {
 		return 0
 	}
 	if cap(e.cands) < len(e.free) {
+		//lint:ignore noalloc one-time candidate-arena growth; steady state reuses the allocation
 		e.cands = make([]cand, len(e.free))
 	}
 	e.cands = e.cands[:len(e.free)]
@@ -364,7 +367,7 @@ func (e *Engine) BoundedAugment(g *graph.Static, m *Matching, maxLen int) int {
 	}
 	n := g.N()
 	if m.N() != n {
-		panic(fmt.Sprintf("matching: matching over %d vertices, graph has %d", m.N(), n))
+		invariant.Violatef("matching: matching over %d vertices, graph has %d", m.N(), n)
 	}
 	e.ensure(n)
 	s := &e.ws[0]
@@ -391,9 +394,11 @@ func (e *Engine) BoundedAugment(g *graph.Static, m *Matching, maxLen int) int {
 
 // GreedyInto resets m and fills it with the canonical-order greedy maximal
 // matching of g, allocating nothing in steady state.
+//
+//sparse:noalloc
 func (e *Engine) GreedyInto(g *graph.Static, m *Matching) {
 	if m.N() != g.N() {
-		panic(fmt.Sprintf("matching: matching over %d vertices, graph has %d", m.N(), g.N()))
+		invariant.Violatef("matching: matching over %d vertices, graph has %d", m.N(), g.N())
 	}
 	m.Reset()
 	n := int32(g.N())
@@ -413,9 +418,11 @@ func (e *Engine) GreedyInto(g *graph.Static, m *Matching) {
 // GreedyShuffledInto resets m and fills it with the random-scan-order greedy
 // maximal matching of g — bit-identical to GreedyShuffled(g, seed) — reusing
 // the engine's edge arena and RNG (zero steady-state allocations).
+//
+//sparse:noalloc
 func (e *Engine) GreedyShuffledInto(g *graph.Static, m *Matching, seed uint64) {
 	if m.N() != g.N() {
-		panic(fmt.Sprintf("matching: matching over %d vertices, graph has %d", m.N(), g.N()))
+		invariant.Violatef("matching: matching over %d vertices, graph has %d", m.N(), g.N())
 	}
 	e.edges = e.edges[:0]
 	n := int32(g.N())
@@ -445,6 +452,8 @@ func (e *Engine) GreedyShuffledInto(g *graph.Static, m *Matching, seed uint64) {
 // matching schedule into m: shuffled-greedy initialization, then disjoint
 // phases at lengths L = 1, 3, …, 2⌈1/ε⌉−1, each length iterated to its
 // fixpoint. All scratch comes from the engine arenas.
+//
+//sparse:noalloc
 func (e *Engine) PhaseStructuredApproxInto(g *graph.Static, m *Matching, eps float64, seed uint64) {
 	e.GreedyShuffledInto(g, m, seed)
 	maxLen := AugmentLenFor(eps)

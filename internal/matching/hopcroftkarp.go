@@ -43,6 +43,7 @@ func Bipartition(g *graph.Static) ([]uint8, error) {
 func HopcroftKarp(g *graph.Static) *Matching {
 	m, err := HopcroftKarpPhases(g, math.MaxInt)
 	if err != nil {
+		//lint:ignore panicdiscipline documented panic-wrapper over the error-returning HopcroftKarpPhases
 		panic(err)
 	}
 	return m

@@ -10,6 +10,7 @@ import (
 	"slices"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Matching is a set of vertex-disjoint edges over vertices 0..n-1,
@@ -37,7 +38,7 @@ func FromMates(mate []int32) *Matching {
 			continue
 		}
 		if int(w) >= len(mate) || m.mate[w] != int32(v) || w == int32(v) {
-			panic(fmt.Sprintf("matching: mate array not an involution at %d -> %d", v, w))
+			invariant.Violatef("matching: mate array not an involution at %d -> %d", v, w)
 		}
 		if int32(v) < w {
 			m.size++
@@ -85,7 +86,7 @@ func (m *Matching) IsMatched(v int32) bool { return m.mate[v] >= 0 }
 // Match adds the edge {u, v}. Both endpoints must currently be free.
 func (m *Matching) Match(u, v int32) {
 	if u == v || m.mate[u] >= 0 || m.mate[v] >= 0 {
-		panic(fmt.Sprintf("matching: cannot match (%d,%d): mates (%d,%d)", u, v, m.mate[u], m.mate[v]))
+		invariant.Violatef("matching: cannot match (%d,%d): mates (%d,%d)", u, v, m.mate[u], m.mate[v])
 	}
 	m.mate[u], m.mate[v] = v, u
 	m.size++

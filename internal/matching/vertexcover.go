@@ -1,6 +1,9 @@
 package matching
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/invariant"
+)
 
 // VertexCoverFromMatching returns the endpoints of a MAXIMAL matching,
 // which form a vertex cover of at most twice the minimum size (König-style
@@ -8,7 +11,7 @@ import "repro/internal/graph"
 // not maximal in g, since the cover property would then fail.
 func VertexCoverFromMatching(g *graph.Static, m *Matching) []int32 {
 	if !IsMaximal(g, m) {
-		panic("matching: vertex cover needs a maximal matching")
+		invariant.Violatef("matching: vertex cover needs a maximal matching")
 	}
 	cover := make([]int32, 0, 2*m.Size())
 	for v := int32(0); v < int32(m.N()); v++ {

@@ -28,11 +28,11 @@
 package mpc
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/params"
 )
 
@@ -52,7 +52,7 @@ type Stats struct {
 // coordinator assembles the sparsifier with a single integer sort.
 func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Static, Stats) {
 	if machines < 1 || delta < 1 {
-		panic(fmt.Sprintf("mpc: bad parameters machines=%d delta=%d", machines, delta))
+		invariant.Violatef("mpc: bad parameters machines=%d delta=%d", machines, delta)
 	}
 	stats := Stats{Machines: machines, Rounds: 2}
 
@@ -86,8 +86,17 @@ func SparsifyMPC(g *graph.Static, delta, machines int, seed uint64) (*graph.Stat
 			local[u] = append(local[u], cand{v: u, key: k, tag: tagFor(seed, u, k)})
 			local[v] = append(local[v], cand{v: v, key: k, tag: tagFor(seed, v, k)})
 		}
+		// Iterate endpoints in sorted order so the inbox contents are
+		// independent of map iteration order (ties in round 2's tag sort
+		// would otherwise resolve nondeterministically).
+		vs := make([]int32, 0, len(local))
+		for v := range local {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
 		sent := int64(0)
-		for v, cs := range local {
+		for _, v := range vs {
+			cs := local[v]
 			sort.Slice(cs, func(a, b int) bool { return cs[a].tag < cs[b].tag })
 			if len(cs) > delta {
 				cs = cs[:delta]

@@ -20,9 +20,10 @@
 package params
 
 import (
-	"fmt"
 	"math"
 	"runtime"
+
+	"repro/internal/invariant"
 )
 
 // Check validates the paper's parameter domain: β ≥ 1 and ε ∈ (0, 1).
@@ -30,10 +31,10 @@ import (
 // errors.
 func Check(beta int, eps float64) {
 	if beta < 1 {
-		panic(fmt.Sprintf("params: beta must be >= 1, got %d", beta))
+		invariant.Violatef("params: beta must be >= 1, got %d", beta)
 	}
 	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("params: eps must be in (0,1), got %v", eps))
+		invariant.Violatef("params: eps must be in (0,1), got %v", eps)
 	}
 }
 
@@ -96,10 +97,10 @@ func MarkAllThreshold(delta int) int { return satMul(delta, 2) }
 // composition the arboricity argument is 2Δ (Observation 2.12).
 func DeltaAlpha(arboricity int, eps float64) int {
 	if arboricity < 1 {
-		panic(fmt.Sprintf("params: arboricity must be >= 1, got %d", arboricity))
+		invariant.Violatef("params: arboricity must be >= 1, got %d", arboricity)
 	}
 	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("params: eps must be in (0,1), got %v", eps))
+		invariant.Violatef("params: eps must be in (0,1), got %v", eps)
 	}
 	return ceilInt(5 * float64(arboricity) / eps)
 }

@@ -18,7 +18,9 @@
 // allocations), and Reset is a single increment.
 package sparsearray
 
-import "fmt"
+import (
+	"repro/internal/invariant"
+)
 
 // Array is a fixed-length array of values of type V with O(1) Reset.
 // The zero value is not usable; construct with New.
@@ -34,7 +36,7 @@ type Array[V any] struct {
 // New returns an Array of length n whose slots all read as def.
 func New[V any](n int, def V) *Array[V] {
 	if n < 0 {
-		panic(fmt.Sprintf("sparsearray: negative length %d", n))
+		invariant.Violatef("sparsearray: negative length %d", n)
 	}
 	return &Array[V]{
 		values: make([]V, n),

@@ -16,11 +16,11 @@
 package stream
 
 import (
-	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/arcs"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/params"
 )
 
@@ -41,7 +41,7 @@ type Sparsifier struct {
 // per-vertex reservoir capacity delta.
 func NewSparsifier(n, delta int, seed uint64) *Sparsifier {
 	if n < 0 || delta < 1 {
-		panic(fmt.Sprintf("stream: bad parameters n=%d delta=%d", n, delta))
+		invariant.Violatef("stream: bad parameters n=%d delta=%d", n, delta)
 	}
 	return &Sparsifier{
 		delta:     delta,
@@ -129,7 +129,7 @@ func SparsifyStream(g *graph.Static, delta int, order []int, seed uint64) (*grap
 		}
 	} else {
 		if len(order) != len(edges) {
-			panic(fmt.Sprintf("stream: order has %d entries for %d edges", len(order), len(edges)))
+			invariant.Violatef("stream: order has %d entries for %d edges", len(order), len(edges))
 		}
 		for _, i := range order {
 			s.Push(edges[i].U, edges[i].V)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/invariant"
 	"repro/internal/matching"
 )
 
@@ -28,7 +29,7 @@ type Instance struct {
 // certifying a lie would silently weaken every downstream checker.
 func Certify(inst gen.Instance) Instance {
 	if inst.Beta < 1 {
-		panic(fmt.Sprintf("testkit: instance %q has invalid beta %d", inst.Name, inst.Beta))
+		invariant.Violatef("testkit: instance %q has invalid beta %d", inst.Name, inst.Beta)
 	}
 	return Instance{
 		Instance:    inst,
