@@ -9,6 +9,7 @@ import (
 	"repro/internal/dynmatch"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/matching"
 	"repro/internal/mpc"
 	"repro/internal/stream"
@@ -55,38 +56,74 @@ func ErdosRenyi(n int, p float64, seed uint64) *Graph { return gen.ErdosRenyi(n,
 // ---------------------------------------------------------------------------
 // Parallel phase engine (Theorem 3.1 pipeline, sharded hot paths).
 
-// MatchOptions tunes the matching side of the sequential pipeline. Workers
-// shards both the sparsifier construction (core.Options.Workers) and the
-// discover stage of the phase engine; zero means GOMAXPROCS, 1 forces
-// sequential execution. The matching produced is bit-identical for every
-// worker count.
-type MatchOptions = matching.Options
+// MatchOptions tunes the sequential matching pipeline. Workers shards both
+// the sparsifier construction and the discover stage of the phase engine;
+// zero means GOMAXPROCS, 1 forces sequential execution. Sparsifier selects
+// the sparsification backend by name ("" and "gdelta" mean the paper's G_Δ
+// construction, "edcs" the edge-degree-constrained subgraph). The matching
+// produced is bit-identical for every worker count under either backend.
+type MatchOptions struct {
+	Workers    int
+	Sparsifier string
+}
+
+// engineOptions converts the facade options to the phase engine's.
+func (o MatchOptions) engineOptions() matching.Options {
+	return matching.Options{Workers: o.Workers}
+}
 
 // MatchEngine is the reusable allocation-free phase engine: discover →
 // commit disjoint-path phases sharded over a worker pool, with all scratch
 // arenas owned by the engine. Close it when done to release the pool.
 type MatchEngine = matching.Engine
 
-// NewMatchEngine creates a phase engine with the given options.
-func NewMatchEngine(opt MatchOptions) *MatchEngine { return matching.NewEngine(opt) }
+// NewMatchEngine creates a phase engine with the given options. The
+// Sparsifier field does not apply (the engine consumes an already
+// constructed graph) and is ignored.
+func NewMatchEngine(opt MatchOptions) *MatchEngine { return matching.NewEngine(opt.engineOptions()) }
 
-// ApproximateMatchingOpts is ApproximateMatching with explicit engine
-// options: it sparsifies with opt.Workers sharded marking and then runs the
-// phase-structured matcher (disjoint discover → commit phases) with the
-// same worker count. The result is fully deterministic for a fixed
-// (seed, Workers) pair; the matching stage is even worker-invariant, but
-// the sparsifier keys its RNG streams by vertex range, so changing Workers
-// changes which edges G_Δ contains (core.Options.Workers contract).
+// SparsifierBackend is the pluggable sparsification backend interface: a
+// named construction that resolves its own parameters from (β, ε) and
+// builds the sparsifier from the CSR graph. See SparsifierBackends.
+type SparsifierBackend = core.Sparsifier
+
+// SparsifierBackendParam is one resolved backend parameter, for reporting.
+type SparsifierBackendParam = core.BackendParam
+
+// SparsifierBackends returns every registered backend in registry order:
+// "gdelta" (Theorem 2.1 random marking, needs bounded β) and "edcs"
+// (edge-degree-constrained subgraph, arbitrary graphs).
+func SparsifierBackends(workers int) []SparsifierBackend { return core.Backends(workers) }
+
+// SparsifierBackendNames returns the stable backend name list.
+func SparsifierBackendNames() []string { return core.BackendNames() }
+
+// SparsifierByName resolves a backend name; "" selects "gdelta".
+func SparsifierByName(name string, workers int) (SparsifierBackend, error) {
+	return core.BackendByName(name, workers)
+}
+
+// ApproximateMatchingOpts is ApproximateMatching with explicit options: it
+// sparsifies with the selected backend (opt.Sparsifier, with opt.Workers
+// sharded construction) and then runs the phase-structured matcher
+// (disjoint discover → commit phases) with the same worker count. The
+// result is fully deterministic for a fixed seed and invariant to Workers
+// in both stages. It panics on an unknown backend name, mirroring the
+// library's contract for programmer errors.
 func ApproximateMatchingOpts(g *Graph, beta int, eps float64, seed uint64, opt MatchOptions) *Matching {
-	sp := core.SparsifyOpts(g, core.Options{Delta: core.DeltaLean(beta, eps), Workers: opt.Workers}, seed)
-	return matching.PhaseStructuredApproxOpts(sp, eps, seed+1, opt)
+	backend, err := core.BackendByName(opt.Sparsifier, opt.Workers)
+	if err != nil {
+		invariant.Violatef("sparsematch: %v", err)
+	}
+	sp := backend.Sparsify(g, beta, eps, seed)
+	return matching.PhaseStructuredApproxOpts(sp, eps, seed+1, opt.engineOptions())
 }
 
 // PhaseStructuredMatching computes a (1+ε)-approximate maximum matching of
 // g directly (no sparsifier) with the Hopcroft–Karp-style phase schedule,
 // sharding each phase's path discovery over opt.Workers workers.
 func PhaseStructuredMatching(g *Graph, eps float64, seed uint64, opt MatchOptions) *Matching {
-	return matching.PhaseStructuredApproxOpts(g, eps, seed, opt)
+	return matching.PhaseStructuredApproxOpts(g, eps, seed, opt.engineOptions())
 }
 
 // ---------------------------------------------------------------------------
@@ -127,8 +164,9 @@ func DistributedMatching(g *Graph, beta int, eps float64, seed uint64) (*Matchin
 }
 
 // DistPipelineOptions tunes the distributed pipeline (per-vertex mark count
-// Δ, composition degree bound Δα, augmentation iterations). Zero fields use
-// the theory-faithful defaults, which are conservative; simulations usually
+// Δ, composition degree bound Δα, augmentation iterations, and the
+// sparsifier backend name — "gdelta" or "edcs"). Zero fields use the
+// theory-faithful defaults, which are conservative; simulations usually
 // set modest explicit values.
 type DistPipelineOptions = dist.PipelineOptions
 
@@ -138,19 +176,32 @@ func DistributedMatchingOpts(g *Graph, beta int, eps float64, opt DistPipelineOp
 	return dist.ApproxMatchingPipeline(g, beta, eps, opt, seed)
 }
 
-// DistributedSparsifier builds G_Δ in a single simulated communication
-// round using 1-bit unicast messages; the returned stats certify the
-// message count (≈ nΔ, Theorem 3.3).
+// DistributedSparsifier builds the G_Δ backend's sparsifier in a single
+// simulated communication round using 1-bit unicast messages; the returned
+// stats certify the message count (≈ nΔ, Theorem 3.3). For the EDCS
+// backend's multi-round distributed construction, see
+// DistributedEDCSSparsifier.
 func DistributedSparsifier(g *Graph, delta int, seed uint64) (*Graph, DistStats) {
 	return dist.RunSparsifier(g, delta, seed)
+}
+
+// DistributedEDCSSparsifier builds the EDCS backend's sparsifier on the
+// simulated network via the propose/commit fixpoint, with (β_edcs, λ)
+// resolved from ε. Unlike the one-round G_Δ construction it takes several
+// round-trips to converge, but its matching guarantee does not need the
+// input's neighborhood independence to be bounded.
+func DistributedEDCSSparsifier(g *Graph, eps float64, seed uint64) (*Graph, DistStats) {
+	return dist.RunEDCSFor(g, eps, seed)
 }
 
 // ---------------------------------------------------------------------------
 // Memory-constrained models (Section 3's streaming and MPC applications).
 
 // StreamingSparsifier consumes an edge stream and maintains per-vertex
-// reservoirs of Δ uniform incident edges — G_Δ in one pass and O(nΔ) memory
-// regardless of the stream length or order.
+// reservoirs of Δ uniform incident edges — the G_Δ backend's sparsifier in
+// one pass and O(nΔ) memory regardless of the stream length or order. (The
+// EDCS backend has no one-pass construction here: its properties are
+// global, so it is built from materialized graphs only.)
 type StreamingSparsifier = stream.Sparsifier
 
 // NewStreamingSparsifier creates a streaming sparsifier for n vertices with
@@ -169,9 +220,9 @@ func NewStreamingSparsifierFor(n, beta int, eps float64, seed uint64) *Streaming
 // MPCStats reports the simulated MPC cluster's per-machine loads.
 type MPCStats = mpc.Stats
 
-// SparsifyMPC builds G_Δ on a simulated MPC cluster in two rounds with
-// balanced machine loads; the coordinator ends up holding only the
-// O(nΔ)-edge sparsifier.
+// SparsifyMPC builds the G_Δ backend's sparsifier on a simulated MPC
+// cluster in two rounds with balanced machine loads; the coordinator ends
+// up holding only the O(nΔ)-edge sparsifier.
 func SparsifyMPC(g *Graph, delta, machines int, seed uint64) (*Graph, MPCStats) {
 	return mpc.SparsifyMPC(g, delta, machines, seed)
 }

@@ -41,3 +41,55 @@ func TestFacadeDynDistNetwork(t *testing.T) {
 		t.Errorf("local memory %d not below the naive degree 79", nw.MaxLocalWords())
 	}
 }
+
+func TestFacadeSparsifierBackends(t *testing.T) {
+	names := SparsifierBackendNames()
+	if len(names) != 2 || names[0] != "gdelta" || names[1] != "edcs" {
+		t.Fatalf("SparsifierBackendNames() = %v", names)
+	}
+	g := Clique(80)
+	for _, b := range SparsifierBackends(1) {
+		sp, err := SparsifyBackend(g, b.Name(), 1, 0.3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MaximumMatching(sp)
+		if m.Size() < 30 { // MCM(K80) = 40; both backends must stay close
+			t.Errorf("%s: matching on sparsifier = %d, suspiciously small", b.Name(), m.Size())
+		}
+	}
+	if _, err := SparsifyBackend(g, "bogus", 1, 0.3, 9); err == nil {
+		t.Error("bogus backend accepted")
+	}
+}
+
+func TestFacadeMatchOptionsBackend(t *testing.T) {
+	g := Clique(120)
+	for _, backend := range []string{"", "gdelta", "edcs"} {
+		m := ApproximateMatchingOpts(g, 1, 0.25, 3, MatchOptions{Workers: 2, Sparsifier: backend})
+		if err := VerifyMatching(g, m); err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+		if m.Size() < 48 { // (1+eps)-approx of 60
+			t.Errorf("backend %q: size %d below the guarantee floor", backend, m.Size())
+		}
+	}
+}
+
+func TestFacadeDistributedEDCS(t *testing.T) {
+	g := Clique(40)
+	sp, stats := DistributedEDCSSparsifier(g, 0.3, 5)
+	if stats.Messages == 0 {
+		t.Error("no messages accounted")
+	}
+	if sp.M() == 0 || sp.M() >= g.M() {
+		t.Errorf("EDCS size %d not in (0, %d)", sp.M(), g.M())
+	}
+	m, ps := DistributedMatchingOpts(g, 1, 0.3, DistPipelineOptions{Sparsifier: "edcs"}, 7)
+	if err := VerifyMatching(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Sparsify.Rounds == 0 {
+		t.Error("sparsify phase reported zero rounds")
+	}
+}

@@ -3,21 +3,26 @@
 //
 // Usage:
 //
-//	matchcli -in graph.txt -algo approx -beta 5 -eps 0.2 [-workers 8]
+//	matchcli -in graph.txt -algo approx -beta 5 -eps 0.2 [-workers 8] [-sparsifier edcs]
 //
 // Algorithms: greedy (maximal, 2-approx), approx (the paper's sparsify +
 // bounded-augmentation pipeline), phases (sparsify + Hopcroft–Karp-style
 // disjoint phases), exact (Edmonds blossom), all. -workers shards the
 // sparsifier construction and the phase discovery over a worker pool.
+// -sparsifier picks the sparsification backend of approx/phases: gdelta
+// (Theorem 2.1 random marking, needs bounded β) or edcs
+// (edge-degree-constrained subgraph, arbitrary graphs).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/params"
@@ -30,6 +35,8 @@ func main() {
 	eps := flag.Float64("eps", 0.2, "approximation parameter (approx/phases)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "worker count for sparsify + phase discovery (0 = GOMAXPROCS)")
+	sparsifier := flag.String("sparsifier", "gdelta",
+		fmt.Sprintf("sparsifier backend for approx/phases: %s", strings.Join(core.BackendNames(), " | ")))
 	flag.Parse()
 
 	r := os.Stdin
@@ -48,10 +55,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.N(), g.M(), g.MaxDegree())
-	fmt.Printf("params: beta=%d eps=%v -> delta=%d (auglen=%d)\n",
-		*beta, *eps, params.Delta(*beta, *eps), params.AugLen(*eps))
 
-	matchers, err := cli.MatchersOpts(*algo, matching.Options{Workers: *workers})
+	backend, err := core.BackendByName(*sparsifier, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "matchcli: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("sparsifier: %s (auglen=%d", backend.Name(), params.AugLen(*eps))
+	for _, p := range backend.Params(*beta, *eps) {
+		fmt.Printf(" %s=%v", p.Name, p.Value)
+	}
+	fmt.Printf(")\n")
+
+	matchers, err := cli.MatchersOpts(*algo, *sparsifier, matching.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "matchcli: %v\n", err)
 		os.Exit(2)

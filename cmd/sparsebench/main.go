@@ -9,8 +9,10 @@
 //
 // Without -experiment it runs the full suite in order. `-format json` runs
 // the matching benchmark gate instead of the tables: it measures the phase
-// engine's hot paths per worker count with testing.Benchmark and writes a
-// machine-readable BenchReport (schema sparsematch/bench/v1) to -benchout.
+// engine's hot paths per worker count and sparsifier backend with
+// testing.Benchmark and writes a machine-readable BenchReport (schema
+// sparsematch/bench/v2) to -benchout. Parallel speedups are reported only
+// on multi-CPU machines — single-CPU runs emit null speedups ("n/a").
 // The pprof flags wrap whichever mode runs; see DESIGN.md §Performance for
 // the profiling workflow.
 package main
@@ -94,8 +96,12 @@ func main() {
 		fmt.Printf("bench gate (%s, %d cpu, gomaxprocs %d) -> %s\n",
 			rep.GoVersion, rep.NumCPU, rep.GoMaxProcs, *benchOut)
 		for _, r := range rep.Results {
-			fmt.Printf("  %-12s w=%d  %12d ns/op  %4d allocs/op  speedup %.2fx  |M|=%d\n",
-				r.Experiment, r.Workers, r.NsPerOp, r.AllocsPerOp, r.SpeedupVs1W, r.MatchSize)
+			speedup := "n/a" // unmeasurable (single-CPU machine)
+			if r.SpeedupVs1W != nil {
+				speedup = fmt.Sprintf("%.2fx", *r.SpeedupVs1W)
+			}
+			fmt.Printf("  %-12s %-7s w=%d  %12d ns/op  %4d allocs/op  speedup %-6s |M|=%d\n",
+				r.Experiment, r.Backend, r.Workers, r.NsPerOp, r.AllocsPerOp, speedup, r.MatchSize)
 		}
 		return
 	}

@@ -12,7 +12,6 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
-	"repro/internal/params"
 )
 
 // MakeGraph builds a graph of the named family with roughly n vertices and
@@ -73,27 +72,32 @@ type Matcher struct {
 }
 
 // Matchers returns the registry of CLI-selectable algorithms; "all" runs
-// every entry. The sparsifier-based matchers run sequentially; MatchersOpts
-// shards them over a worker pool.
+// every entry. The sparsifier-based matchers run sequentially with the
+// default backend; MatchersOpts selects the backend and a worker pool.
 func Matchers(algo string) ([]Matcher, error) {
-	return MatchersOpts(algo, matching.Options{Workers: 1})
+	return MatchersOpts(algo, "", matching.Options{Workers: 1})
 }
 
-// MatchersOpts is Matchers with explicit phase-engine options: the approx
-// and phases matchers shard both the sparsifier construction and the phase
-// discovery over opt.Workers workers. Results are deterministic for a fixed
-// (seed, Workers) pair; the phase engine is worker-invariant, while the
-// sparsifier's marked edge set depends on the worker count (core contract).
-func MatchersOpts(algo string, opt matching.Options) ([]Matcher, error) {
+// MatchersOpts is Matchers with an explicit sparsifier backend name
+// ("gdelta" or "edcs"; "" means gdelta) and phase-engine options: the
+// approx and phases matchers build the selected backend's sparsifier and
+// shard the phase discovery over opt.Workers workers. Results are
+// deterministic for a fixed seed and invariant to the worker count in both
+// stages (backend contract).
+func MatchersOpts(algo, backend string, opt matching.Options) ([]Matcher, error) {
+	sparsifier, err := core.BackendByName(backend, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
 	greedy := Matcher{"greedy", func(g *graph.Static, _ int, _ float64, _ uint64) *matching.Matching {
 		return matching.Greedy(g)
 	}}
 	approx := Matcher{"approx", func(g *graph.Static, beta int, eps float64, seed uint64) *matching.Matching {
-		sp := core.SparsifyOpts(g, core.Options{Delta: params.Delta(beta, eps), Workers: opt.Workers}, seed)
+		sp := sparsifier.Sparsify(g, beta, eps, seed)
 		return matching.ApproxGeneral(sp, eps, seed+1)
 	}}
 	phases := Matcher{"phases", func(g *graph.Static, beta int, eps float64, seed uint64) *matching.Matching {
-		sp := core.SparsifyOpts(g, core.Options{Delta: params.Delta(beta, eps), Workers: opt.Workers}, seed)
+		sp := sparsifier.Sparsify(g, beta, eps, seed)
 		return matching.PhaseStructuredApproxOpts(sp, eps, seed+1, opt)
 	}}
 	exact := Matcher{"exact", func(g *graph.Static, _ int, _ float64, _ uint64) *matching.Matching {

@@ -103,3 +103,31 @@ func TestMatchersRegistry(t *testing.T) {
 		t.Error("bogus algorithm accepted")
 	}
 }
+
+// TestMatchersBackends runs the sparsifier-based matchers under every
+// registered backend name (plus the empty default) and demands a valid
+// non-empty matching from each.
+func TestMatchersBackends(t *testing.T) {
+	g, beta, err := MakeGraph("diversity2", 100, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"", "gdelta", "edcs"} {
+		ms, err := MatchersOpts("all", backend, matching.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+		for _, m := range ms {
+			res := m.Run(g, beta, 0.25, 5)
+			if err := matching.Verify(g, res); err != nil {
+				t.Fatalf("backend %q, %s: %v", backend, m.Name, err)
+			}
+			if res.Size() == 0 {
+				t.Errorf("backend %q, %s found nothing", backend, m.Name)
+			}
+		}
+	}
+	if _, err := MatchersOpts("all", "bogus", matching.Options{Workers: 1}); err == nil {
+		t.Error("bogus backend accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/edcs"
+)
+
+// TestBackendRegistry pins the registry surface: stable names, order, the
+// empty-string default, and a descriptive error on unknown names.
+func TestBackendRegistry(t *testing.T) {
+	names := BackendNames()
+	if len(names) != 2 || names[0] != "gdelta" || names[1] != "edcs" {
+		t.Fatalf("BackendNames() = %v, want [gdelta edcs]", names)
+	}
+	for _, name := range append([]string{""}, names...) {
+		b, err := BackendByName(name, 1)
+		if err != nil {
+			t.Fatalf("BackendByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "gdelta"
+		}
+		if b.Name() != want {
+			t.Errorf("BackendByName(%q).Name() = %q, want %q", name, b.Name(), want)
+		}
+	}
+	if _, err := BackendByName("nope", 1); err == nil {
+		t.Error("BackendByName(nope) did not fail")
+	}
+}
+
+// TestBackendContracts runs every registered backend through the shared
+// contract: non-empty reporting strings, resolved parameters, a subgraph of
+// the input, determinism across runs and worker counts, and the backend's
+// own size bound.
+func TestBackendContracts(t *testing.T) {
+	const beta, eps = 3, 0.3
+	g := cliqueN(64)
+	mcm := 32 // perfect matching of an even clique
+	for _, backend := range Backends(1) {
+		if backend.Guarantee() == "" {
+			t.Errorf("%s: empty Guarantee()", backend.Name())
+		}
+		if len(backend.Params(beta, eps)) == 0 {
+			t.Errorf("%s: no resolved parameters", backend.Name())
+		}
+		h := backend.Sparsify(g, beta, eps, 7)
+		if h.N() != g.N() {
+			t.Fatalf("%s: vertex count changed: %d vs %d", backend.Name(), h.N(), g.N())
+		}
+		for _, e := range h.Edges() {
+			if !g.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: emitted non-edge %v", backend.Name(), e)
+			}
+		}
+		if bound := backend.SizeUpperBound(g.N(), mcm, beta, eps); h.M() > bound {
+			t.Errorf("%s: |E(H)| = %d exceeds own bound %d", backend.Name(), h.M(), bound)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			wb, err := BackendByName(backend.Name(), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2 := wb.Sparsify(g, beta, eps, 7)
+			if h2.M() != h.M() {
+				t.Fatalf("%s workers=%d: |E| = %d, want %d", backend.Name(), workers, h2.M(), h.M())
+			}
+			he, h2e := h.Edges(), h2.Edges()
+			for i := range he {
+				if he[i] != h2e[i] {
+					t.Fatalf("%s workers=%d: edge %d differs: %v vs %v", backend.Name(), workers, i, h2e[i], he[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEDCSBackendInvariants: the registry's EDCS backend must emit a valid
+// EDCS for the parameters its Params() reports.
+func TestEDCSBackendInvariants(t *testing.T) {
+	const eps = 0.3
+	g := cliqueN(40)
+	b := EDCS{}
+	h := b.Sparsify(g, 0, eps, 3)
+	ps := b.Params(0, eps)
+	var betaEDCS int
+	var lambda float64
+	for _, p := range ps {
+		switch p.Name {
+		case "beta_edcs":
+			betaEDCS = int(p.Value)
+		case "lambda":
+			lambda = p.Value
+		}
+	}
+	if err := edcs.CheckInvariants(g, h, betaEDCS, lambda); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGDeltaProofConstant: the Proof flag must resolve a strictly larger Δ.
+func TestGDeltaProofConstant(t *testing.T) {
+	lean := GDelta{}.delta(3, 0.3)
+	proof := GDelta{Proof: true}.delta(3, 0.3)
+	if proof <= lean {
+		t.Errorf("proof constant %d not larger than lean %d", proof, lean)
+	}
+}

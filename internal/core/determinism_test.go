@@ -10,10 +10,10 @@ import (
 
 // markRangeEdges collects the marks of markRange as Edge structs — a test
 // helper over the packed-arc accumulation path.
-func markRangeEdges(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64) []graph.Edge {
+func markRangeEdges(g *graph.Static, lo, hi int32, opt Options, seed uint64) []graph.Edge {
 	buf := arcs.Get()
 	defer buf.Release()
-	markRange(g, lo, hi, opt, seed, stream, buf)
+	markRange(g, lo, hi, opt, seed, buf)
 	edges := make([]graph.Edge, 0, buf.Len())
 	for _, k := range buf.Keys() {
 		u, v := arcs.Unpack(k)
@@ -22,66 +22,76 @@ func markRangeEdges(g *graph.Static, lo, hi int32, opt Options, seed, stream uin
 	return edges
 }
 
-// TestRNGStreamDistinctPerChunk is the regression test for the stream-seed
-// derivation: the old expression stream<<32|0x5bf0&0xffffffff|uint64(lo)
-// OR-ed a constant and the range start into the same low bits (operator
-// precedence made the mask a no-op), so distinct (stream, lo) chunks could
-// collide. The fixed derivation stream<<32|uint64(uint32(lo)) is injective.
-func TestRNGStreamDistinctPerChunk(t *testing.T) {
-	type chunk struct {
-		stream uint64
-		lo     int32
+// TestRNGStreamDistinctPerBlock checks the stream-seed derivation: distinct
+// block starts must map to distinct PCG streams (the derivation is injective
+// over int32 block starts), and the streams must produce distinguishable
+// generators.
+func TestRNGStreamDistinctPerBlock(t *testing.T) {
+	blocks := []int32{
+		0, markBlockSize, 2 * markBlockSize, 3 * markBlockSize,
+		0x5bf0 * markBlockSize, // the tag constant must not alias a block
+		1 << 20, 1 << 30,
 	}
-	chunks := []chunk{
-		{0, 0}, {0, 1}, {1, 0}, {1, 1},
-		{0, 0x5bf0}, {0, 0x1bf0}, // collided under the old expression
-		{2, 250}, {3, 250}, {2, 500},
-		{0, 1 << 30}, {1 << 20, 0},
-	}
-	seen := make(map[uint64]chunk, len(chunks))
-	for _, c := range chunks {
-		s := rngStream(c.stream, c.lo)
+	seen := make(map[uint64]int32, len(blocks))
+	for _, b := range blocks {
+		s := rngStream(b)
 		if prev, dup := seen[s]; dup {
-			t.Errorf("chunks %+v and %+v share RNG stream %#x", prev, c, s)
+			t.Errorf("blocks %d and %d share RNG stream %#x", prev, b, s)
 		}
-		seen[s] = c
+		seen[s] = b
 	}
 	// The stream ids must also produce distinguishable generators: the first
-	// outputs of all chunks' RNGs should not all coincide pairwise.
-	outs := make(map[uint64]chunk, len(chunks))
-	for _, c := range chunks {
-		v := rand.New(rand.NewPCG(7, rngStream(c.stream, c.lo))).Uint64()
+	// outputs of all blocks' RNGs should not collide pairwise.
+	outs := make(map[uint64]int32, len(blocks))
+	for _, b := range blocks {
+		v := rand.New(rand.NewPCG(7, rngStream(b))).Uint64()
 		if prev, dup := outs[v]; dup {
-			t.Errorf("chunks %+v and %+v produce identical first RNG output", prev, c)
+			t.Errorf("blocks %d and %d produce identical first RNG output", prev, b)
 		}
-		outs[v] = c
+		outs[v] = b
 	}
 }
 
-// TestMarkRangeChunksIndependent checks at the sampler level that two
-// workers (distinct stream ids) covering the same vertex draw different
-// mark sets — i.e. the streams actually decorrelate the workers.
-func TestMarkRangeChunksIndependent(t *testing.T) {
-	g := cliqueN(200)
-	opt := Options{Delta: 4, MarkAllThreshold: 1, Workers: 1}.withDefaults()
-	a := markRangeEdges(g, 0, 1, opt, 1, 0)
-	b := markRangeEdges(g, 0, 1, opt, 1, 1)
+// TestMarkRangeBlocksIndependent checks at the sampler level that two
+// different blocks draw from decorrelated streams: the same high-degree
+// vertex structure sampled under block 0's stream and under block 1's
+// stream must not produce identical mark sequences.
+func TestMarkRangeBlocksIndependent(t *testing.T) {
+	// Two cliques of markBlockSize vertices each; vertex 0 lives in block 0,
+	// vertex markBlockSize in block 1, and both have the same degree, so any
+	// correlation between the block streams would show up as identical
+	// neighbor-index choices.
+	n := 2 * markBlockSize
+	b := graph.NewBuilder(n)
+	for u := int32(0); u < markBlockSize; u++ {
+		for v := u + 1; v < markBlockSize; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+markBlockSize, v+markBlockSize)
+		}
+	}
+	g := b.Build()
+	opt := Options{Delta: 8, MarkAllThreshold: 1, Workers: 1}.withDefaults()
+	a := markRangeEdges(g, 0, 1, opt, 1)
+	c := markRangeEdges(g, markBlockSize, markBlockSize+1, opt, 1)
+	if len(a) != len(c) {
+		t.Fatalf("mark counts differ: %d vs %d", len(a), len(c))
+	}
 	same := 0
 	for i := range a {
-		if a[i] == b[i] {
+		if a[i].V-0 == c[i].V-markBlockSize {
 			same++
 		}
 	}
 	if same == len(a) {
-		t.Fatalf("streams 0 and 1 produced identical marks %v", a)
+		t.Fatalf("blocks 0 and %d produced identical neighbor choices %v", markBlockSize, a)
 	}
 }
 
-// TestSparsifyDeterministicAcrossRuns: for a fixed (seed, Workers) pair the
-// parallel construction is reproducible run-to-run — worker RNG streams are
-// keyed by vertex range, not goroutine scheduling.
+// TestSparsifyDeterministicAcrossRuns: for a fixed seed the parallel
+// construction is reproducible run-to-run — RNG streams are keyed by vertex
+// block, not goroutine scheduling.
 func TestSparsifyDeterministicAcrossRuns(t *testing.T) {
-	g := cliqueN(2048) // above the n >= 1024 parallel threshold
+	g := cliqueN(2048) // above the parallel threshold
 	for _, workers := range []int{2, 4, 7} {
 		opt := Options{Delta: 6, Workers: workers}
 		a := SparsifyOpts(g, opt, 99)
@@ -95,6 +105,28 @@ func TestSparsifyDeterministicAcrossRuns(t *testing.T) {
 				if ae[i] != be[i] {
 					t.Fatalf("workers=%d: same seed, different edge at %d: %v vs %v", workers, i, ae[i], be[i])
 				}
+			}
+		}
+	}
+}
+
+// TestSparsifyWorkerInvariant: the marked edge set is bit-identical for
+// EVERY worker count — the block-keyed stream contract that makes backend
+// outputs comparable across machines and configurations.
+func TestSparsifyWorkerInvariant(t *testing.T) {
+	g := cliqueN(3000) // spans three blocks, above the parallel threshold
+	opt := Options{Delta: 5}
+	base := SparsifyOpts(g, Options{Delta: 5, Workers: 1}, 42)
+	for _, workers := range []int{2, 3, 4, 8, 16} {
+		opt.Workers = workers
+		got := SparsifyOpts(g, opt, 42)
+		if got.M() != base.M() {
+			t.Fatalf("workers=%d: |E| = %d, want %d (workers=1)", workers, got.M(), base.M())
+		}
+		ge, be := got.Edges(), base.Edges()
+		for i := range ge {
+			if ge[i] != be[i] {
+				t.Fatalf("workers=%d: edge %d = %v, want %v", workers, i, ge[i], be[i])
 			}
 		}
 	}

@@ -23,12 +23,12 @@ func TestMarkIndependenceAcrossEndpoints(t *testing.T) {
 	opt := Options{Delta: delta, MarkAllThreshold: 1, Workers: 1}.withDefaults()
 	for tr := 0; tr < trials; tr++ {
 		markedByU, markedByV := false, false
-		for _, e := range markRangeEdges(g, edgeU, edgeU+1, opt, uint64(tr)+1, 0) {
+		for _, e := range markRangeEdges(g, edgeU, edgeU+1, opt, uint64(tr)+1) {
 			if e.Other(edgeU) == edgeV {
 				markedByU = true
 			}
 		}
-		for _, e := range markRangeEdges(g, edgeV, edgeV+1, opt, uint64(tr)+1, 0) {
+		for _, e := range markRangeEdges(g, edgeV, edgeV+1, opt, uint64(tr)+1) {
 			if e.Other(edgeV) == edgeU {
 				markedByV = true
 			}
@@ -61,7 +61,7 @@ func TestMarkChiSquareUniformity(t *testing.T) {
 	opt := Options{Delta: delta, MarkAllThreshold: 1, Workers: 1}.withDefaults()
 	counts := make([]float64, d+1)
 	for tr := 0; tr < trials; tr++ {
-		for _, e := range markRangeEdges(b, 0, 1, opt, uint64(tr)+11, 0) {
+		for _, e := range markRangeEdges(b, 0, 1, opt, uint64(tr)+11) {
 			counts[e.Other(0)]++
 		}
 	}

@@ -48,14 +48,14 @@ type Options struct {
 	MarkAllThreshold int
 	// Method selects the sampling implementation. Default MethodReadOnly.
 	Method Method
-	// Workers shards the vertex set over this many goroutines, each with an
-	// independent RNG stream. Zero means GOMAXPROCS; 1 forces sequential
-	// construction (used by the deterministic-runtime experiments).
+	// Workers shards the vertex set over this many goroutines. Zero means
+	// GOMAXPROCS; 1 forces sequential construction (used by the
+	// deterministic-runtime experiments).
 	//
-	// For a fixed (seed, Workers) pair the output sparsifier is fully
-	// deterministic — each worker's RNG stream is keyed by its vertex range,
-	// not by goroutine scheduling — but changing the worker count changes
-	// how vertices map to streams and therefore which edges are marked.
+	// The output is fully deterministic for a fixed seed and INVARIANT to
+	// the worker count: RNG streams are keyed by fixed markBlockSize vertex
+	// blocks (not by worker ranges or goroutine scheduling), and workers are
+	// assigned whole blocks, so every worker count marks the same edges.
 	Workers int
 }
 
@@ -81,6 +81,14 @@ func Sparsify(g *graph.Static, delta int, seed uint64) *graph.Static {
 	return SparsifyOpts(g, Options{Delta: delta}, seed)
 }
 
+// markBlockSize is the vertex-block granularity of the parallel marking:
+// each block of markBlockSize consecutive vertices draws from its own RNG
+// stream keyed by the block start, and workers are assigned whole blocks.
+// Because the streams depend only on (seed, block) — never on the worker
+// count or goroutine scheduling — the marked edge set is bit-identical for
+// every worker count.
+const markBlockSize = 1024
+
 // SparsifyOpts builds G_Δ with explicit options.
 //
 // Marked edges are accumulated directly as packed arcs (internal/arcs) in
@@ -93,15 +101,19 @@ func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 	}
 	opt = opt.withDefaults()
 	n := g.N()
-	if opt.Workers <= 1 || n < 1024 {
+	if opt.Workers <= 1 || n < markBlockSize {
 		buf := arcs.Get()
-		markRange(g, 0, int32(n), opt, seed, 0, buf)
+		markRange(g, 0, int32(n), opt, seed, buf)
 		gd := graph.FromPackedArcs(n, buf.Keys())
 		buf.Release()
 		return gd
 	}
+	// Assign each worker a contiguous run of whole blocks, so concatenating
+	// the per-worker buffers in worker order preserves vertex order and the
+	// block-keyed streams are untouched by the worker count.
 	workers := opt.Workers
-	chunk := (n + workers - 1) / workers
+	blocks := (n + markBlockSize - 1) / markBlockSize
+	chunk := ((blocks + workers - 1) / workers) * markBlockSize
 	parts := make([]*arcs.Buffer, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -112,10 +124,10 @@ func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 		}
 		parts[w] = arcs.Get()
 		wg.Add(1)
-		go func(w int, lo, hi int32) {
+		go func(lo, hi int32, buf *arcs.Buffer) {
 			defer wg.Done()
-			markRange(g, lo, hi, opt, seed, uint64(w), parts[w])
-		}(w, lo, hi)
+			markRange(g, lo, hi, opt, seed, buf)
+		}(lo, hi, parts[w])
 	}
 	wg.Wait()
 	keys := arcs.Concat(parts...)
@@ -127,20 +139,23 @@ func SparsifyOpts(g *graph.Static, opt Options, seed uint64) *graph.Static {
 	return graph.FromPackedArcs(n, keys)
 }
 
-// rngStream derives the PCG stream id of the worker covering vertices
-// [lo, hi): the worker index in the high 32 bits, the range start in the
-// low 32 bits, so distinct (stream, lo) chunks get distinct RNG streams.
-func rngStream(stream uint64, lo int32) uint64 {
-	return stream<<32 | uint64(uint32(lo))
+// rngStream derives the PCG stream id of the block starting at vertex lo:
+// a fixed tag in the high bits (so block streams are disjoint from other
+// derived stream families) and the block start in the low 32 bits.
+func rngStream(lo int32) uint64 {
+	return 0x5bf0<<32 | uint64(uint32(lo))
 }
 
 // markRange marks edges for vertices in [lo, hi), appending them to buf as
-// packed arcs. Each range gets an independent RNG stream keyed by
-// (seed, stream), so the random choices made "due to" different vertices
-// are independent — the property the proof of Theorem 2.1 relies on
-// (Observation 2.9).
-func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64, buf *arcs.Buffer) {
-	rng := rand.New(rand.NewPCG(seed, rngStream(stream, lo)))
+// packed arcs. Each markBlockSize-aligned block gets an independent RNG
+// stream keyed by (seed, block start), so the random choices made "due to"
+// different vertices are independent — the property the proof of
+// Theorem 2.1 relies on (Observation 2.9) — and independent of how blocks
+// map to workers. The construction always calls it with a block-aligned lo;
+// an unaligned lo keys its leading partial block by lo itself (used by the
+// per-vertex distribution tests).
+func markRange(g *graph.Static, lo, hi int32, opt Options, seed uint64, buf *arcs.Buffer) {
+	var rng *rand.Rand
 	buf.Grow(int(hi-lo) * min(opt.Delta, 8))
 	var pos *sparsearray.Array[int32]
 	if opt.Method == MethodReadOnly {
@@ -151,6 +166,9 @@ func markRange(g *graph.Static, lo, hi int32, opt Options, seed, stream uint64, 
 		seen = make(map[int]bool, opt.Delta)
 	}
 	for v := lo; v < hi; v++ {
+		if v == lo || v%markBlockSize == 0 {
+			rng = rand.New(rand.NewPCG(seed, rngStream(v)))
+		}
 		d := g.Degree(v)
 		if d == 0 {
 			continue

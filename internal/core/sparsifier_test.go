@@ -88,7 +88,7 @@ func TestSparsifyReadOnlySamplingUniform(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		// Sample only the marks made due to vertex 0 (the center), so the
 		// leaves' own marks do not contaminate the counts.
-		for _, e := range markRangeEdges(g, 0, 1, opt, uint64(trial+1), 0) {
+		for _, e := range markRangeEdges(g, 0, 1, opt, uint64(trial+1)) {
 			counts[e.Other(0)]++
 		}
 	}

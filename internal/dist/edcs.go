@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"repro/internal/arcs"
+	"repro/internal/graph"
+	"repro/internal/params"
+)
+
+// The distributed EDCS construction runs the edge-addition/removal fixpoint
+// as alternating propose/commit cycles (2 simulated rounds per cycle):
+//
+//	propose: each node applies the degree updates received in its inbox,
+//	  scans its ports for edges violating P1 (in H with degree sum > β) or
+//	  P2 (outside H with degree sum < the low threshold), and proposes ONE
+//	  uniformly random violating edge to the neighbor across it;
+//	commit: an edge flips iff BOTH endpoints proposed it — each node
+//	  proposes at most one edge, so the flipped set is a matching and both
+//	  endpoints decide identically from their local inboxes. Flipping
+//	  nodes broadcast their new H-degree.
+//
+// Degree updates reach both endpoints of every edge in the same round, so
+// the two endpoints always agree on the edge's degree sum — an edge is a
+// violation for one endpoint iff it is for the other, and a mutual
+// proposal's direction (add vs remove) can never conflict. The random
+// proposal choice breaks the symmetric near-deadlocks where every node
+// keeps proposing a different incident violation than its neighbor.
+//
+// The network converges (all nodes idle, no messages in flight) exactly
+// when no edge violates P1 or P2 — i.e. when H is an EDCS(G, β, λ).
+
+// edcsProposal asks the neighbor across the port to flip the shared edge.
+type edcsProposal struct {
+	// Add distinguishes an addition (P2 repair) from a removal (P1 repair).
+	Add bool
+}
+
+// edcsDegree announces the sender's new H-degree after a flip.
+type edcsDegree struct {
+	Deg int32
+}
+
+// edcsNode is the per-vertex program of the propose/commit fixpoint.
+type edcsNode struct {
+	beta   int
+	lowTh  int
+	inH    []bool  // by port: is the shared edge currently in H
+	nbrDeg []int32 // by port: neighbor's last announced H-degree
+	degH   int32
+	// proposedPort is the port proposed in the current cycle (-1: none).
+	proposedPort int
+	proposedAdd  bool
+	idle         bool
+}
+
+func (s *edcsNode) Step(api *NodeAPI, round int, inbox []Msg) bool {
+	d := api.Degree()
+	if s.inH == nil {
+		s.inH = make([]bool, d)
+		s.nbrDeg = make([]int32, d)
+		s.proposedPort = -1
+	}
+	if round%2 == 0 { // propose
+		for _, m := range inbox {
+			s.nbrDeg[m.FromPort] = m.Payload.(edcsDegree).Deg
+		}
+		candidates := make([]int, 0, d)
+		for p := 0; p < d; p++ {
+			sum := int(s.degH + s.nbrDeg[p])
+			if s.inH[p] && sum > s.beta {
+				candidates = append(candidates, p)
+			} else if !s.inH[p] && sum < s.lowTh {
+				candidates = append(candidates, p)
+			}
+		}
+		s.proposedPort = -1
+		s.idle = len(candidates) == 0
+		if !s.idle {
+			p := candidates[api.Rand().IntN(len(candidates))]
+			s.proposedPort = p
+			s.proposedAdd = !s.inH[p]
+			api.Send(p, edcsProposal{Add: s.proposedAdd}, 1)
+		}
+		return s.idle
+	}
+	// commit: flip iff the neighbor across the proposed port proposed the
+	// same flip back.
+	for _, m := range inbox {
+		prop, ok := m.Payload.(edcsProposal)
+		if !ok || m.FromPort != s.proposedPort || prop.Add != s.proposedAdd {
+			continue
+		}
+		s.inH[s.proposedPort] = !s.inH[s.proposedPort]
+		if s.proposedAdd {
+			s.degH++
+		} else {
+			s.degH--
+		}
+		s.idle = false
+		api.Broadcast(edcsDegree{Deg: s.degH}, idBits(s.beta+2))
+		break
+	}
+	return s.idle
+}
+
+// Idle feeds the livelock guard: a node with no proposal in flight and no
+// local violation will never act again unless a degree update arrives.
+func (s *edcsNode) Idle() bool { return s.idle }
+
+// RunEDCS constructs an EDCS(g, beta, lambda) distributively via the
+// propose/commit fixpoint above, using 1-bit proposals and O(log β)-bit
+// degree announcements. It returns the subgraph and the run stats; a
+// Converged verdict certifies that properties P1 and P2 hold globally.
+// Deterministic for a fixed (g, beta, lambda, seed).
+func RunEDCS(g *graph.Static, beta int, lambda float64, seed uint64, opts ...RunOption) (*graph.Static, Stats) {
+	lowTh := params.EDCSLowThreshold(beta, lambda)
+	nw := newNetworkOpts(g, func(v int32) Program {
+		return &edcsNode{beta: beta, lowTh: lowTh}
+	}, seed, opts)
+	// Cap, not a target: the run stops at convergence, and the potential
+	// argument bounds the total flips by n·β² (two rounds per cycle, plus
+	// slack for the cycles that only resolve proposal mismatches).
+	stats := nw.Run(nw.budget(16 + 8*g.N()*beta))
+	buf := arcs.Get()
+	for v := int32(0); v < int32(g.N()); v++ {
+		node := nw.Inner(v).(*edcsNode)
+		for p, in := range node.inH {
+			if in {
+				buf.Add(v, g.Neighbor(v, p))
+			}
+		}
+	}
+	sp := graph.FromPackedArcs(g.N(), buf.Keys())
+	buf.Release()
+	return sp, stats
+}
+
+// RunEDCSFor is RunEDCS with (β_edcs, λ) resolved from ε by the unified
+// parameter resolution — the entry point the pipeline uses.
+func RunEDCSFor(g *graph.Static, eps float64, seed uint64, opts ...RunOption) (*graph.Static, Stats) {
+	p := params.EDCS{}.ResolveFor(eps)
+	return RunEDCS(g, p.Beta, p.Lambda, seed, opts...)
+}

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/edcs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/params"
+)
+
+// TestRunEDCSInvariants: a Converged verdict must coincide with the global
+// EDCS properties, checked by the sequential package's verifier on several
+// families — including dense ones with unbounded neighborhood independence.
+func TestRunEDCSInvariants(t *testing.T) {
+	for name, g := range map[string]*graph.Static{
+		"clique24":       gen.Clique(24),
+		"path30":         gen.Path(30),
+		"bipartite12x18": gen.CompleteBipartite(12, 18),
+		"er60":           gen.ErdosRenyi(60, 0.2, 9),
+		"star40":         gen.Star(40),
+	} {
+		for _, p := range []struct {
+			beta   int
+			lambda float64
+		}{{8, 0.25}, {6, 0.4}} {
+			h, stats := RunEDCS(g, p.beta, p.lambda, 3)
+			if stats.Verdict != VerdictConverged {
+				t.Fatalf("%s beta=%d: verdict %v after %d rounds", name, p.beta, stats.Verdict, stats.Rounds)
+			}
+			if err := edcs.CheckInvariants(g, h, p.beta, p.lambda); err != nil {
+				t.Errorf("%s beta=%d: %v", name, p.beta, err)
+			}
+		}
+	}
+}
+
+// TestRunEDCSMatchesSequentialParams: the ε entry point must resolve the
+// same parameters as the sequential backend, and the result must satisfy
+// the invariants for exactly those parameters.
+func TestRunEDCSMatchesSequentialParams(t *testing.T) {
+	const eps = 0.3
+	g := gen.ErdosRenyi(50, 0.25, 4)
+	h, stats := RunEDCSFor(g, eps, 7)
+	if stats.Verdict != VerdictConverged {
+		t.Fatalf("verdict %v", stats.Verdict)
+	}
+	p := params.EDCS{}.ResolveFor(eps)
+	if err := edcs.CheckInvariants(g, h, p.Beta, p.Lambda); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunEDCSDeterministic: bit-identical subgraph and stats across runs
+// for a fixed seed.
+func TestRunEDCSDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(40, 0.3, 2)
+	a, sa := RunEDCS(g, 8, 0.25, 11)
+	b, sb := RunEDCS(g, 8, 0.25, 11)
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}
+
+// TestPipelineEDCSBackend runs the full pipeline under both backend names
+// on a certified instance and checks each output is a valid matching of the
+// input of reasonable size.
+func TestPipelineEDCSBackend(t *testing.T) {
+	const eps = 0.3
+	inst := gen.BoundedDiversityInstance(80, 4, 24, 5)
+	for _, backend := range []string{"gdelta", "edcs"} {
+		m, ps := ApproxMatchingPipeline(inst.G, inst.Beta, eps, PipelineOptions{Sparsifier: backend}, 9)
+		if err := matching.Verify(inst.G, m); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if m.Size() == 0 {
+			t.Fatalf("%s: empty matching", backend)
+		}
+		if ps.Sparsify.Messages == 0 {
+			t.Errorf("%s: sparsify phase sent no messages", backend)
+		}
+	}
+}
+
+// TestPipelineUnknownBackendPanics pins the panic contract on typos.
+func TestPipelineUnknownBackendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown backend did not panic")
+		}
+	}()
+	g := gen.Path(4)
+	ApproxMatchingPipeline(g, 1, 0.3, PipelineOptions{Sparsifier: "nope"}, 1)
+}

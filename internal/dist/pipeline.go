@@ -2,6 +2,7 @@ package dist
 
 import (
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/matching"
 	"repro/internal/params"
 )
@@ -32,6 +33,11 @@ type PipelineOptions struct {
 	// AugLen is the augmenting-path length bound of the final stage;
 	// zero means 2⌈1/ε⌉−1 (capped at 9 to keep iteration windows short).
 	AugLen int
+	// Sparsifier selects the phase-1 backend: "gdelta" (default, the
+	// paper's one-round random marking) or "edcs" (the propose/commit
+	// EDCS fixpoint, whose guarantee does not need bounded β). The later
+	// phases run on the chosen sparsifier unchanged.
+	Sparsifier string
 }
 
 // ApproxMatchingPipeline runs the full distributed pipeline of Section 3.2
@@ -53,9 +59,18 @@ func ApproxMatchingPipeline(g *graph.Static, beta int, eps float64, opt Pipeline
 		AugIters:   opt.AugIters,
 		AugLen:     opt.AugLen,
 	}.ResolveFor(beta, eps)
-	opt = PipelineOptions(r)
+	opt.Delta, opt.DeltaAlpha, opt.AugIters, opt.AugLen = r.Delta, r.DeltaAlpha, r.AugIters, r.AugLen
 	var ps PhaseStats
-	gd, s1 := RunSparsifier(g, opt.Delta, seed, opts...)
+	var gd *graph.Static
+	var s1 Stats
+	switch opt.Sparsifier {
+	case "", "gdelta":
+		gd, s1 = RunSparsifier(g, opt.Delta, seed, opts...)
+	case "edcs":
+		gd, s1 = RunEDCSFor(g, eps, seed, opts...)
+	default:
+		invariant.Violatef("dist: unknown sparsifier backend %q", opt.Sparsifier)
+	}
 	ps.Sparsify = s1
 	gt, s2 := RunBoundedDegree(gd, opt.DeltaAlpha, seed+1, opts...)
 	ps.Compose = s2

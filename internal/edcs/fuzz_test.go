@@ -1,0 +1,52 @@
+package edcs
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzEDCSInvariants decodes arbitrary bytes into a graph plus (β, λ)
+// parameters and holds the construction to its full contract: the output is
+// a valid EDCS(G, β, λ) (properties P1 and P2, subgraph containment), fits
+// the P1 size bound, and is bit-identical when rebuilt with the same seed.
+func FuzzEDCSInvariants(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{2, 0, 1})
+	f.Add([]byte{16, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{5, 200, 3, 0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int32(data[0]%24) + 2
+		beta := int(data[1]%14) + 2
+		lambda := float64(int(data[2]%9)+1) / 10 // {0.1, ..., 0.9}
+		b := graph.NewBuilder(int(n))
+		for i := 3; i+1 < len(data); i += 2 {
+			u, v := int32(data[i])%n, int32(data[i+1])%n
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		opt := Options{Beta: beta, Lambda: lambda}
+		h := Sparsify(g, opt, 42)
+		if err := CheckInvariants(g, h, beta, lambda); err != nil {
+			t.Fatalf("beta=%d lambda=%v: %v", beta, lambda, err)
+		}
+		if h.M() > SizeUpperBound(int(n), beta) {
+			t.Fatalf("|E(H)| = %d exceeds size bound %d", h.M(), SizeUpperBound(int(n), beta))
+		}
+		h2 := Sparsify(g, opt, 42)
+		if h.M() != h2.M() {
+			t.Fatalf("same-seed rebuild differs in size: %d vs %d", h.M(), h2.M())
+		}
+		he, h2e := h.Edges(), h2.Edges()
+		for i := range he {
+			if he[i] != h2e[i] {
+				t.Fatalf("same-seed rebuild differs at edge %d: %v vs %v", i, he[i], h2e[i])
+			}
+		}
+	})
+}

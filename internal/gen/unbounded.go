@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/invariant"
+)
+
+// UnboundedInstance is a generated graph together with a WITNESS that its
+// neighborhood independence number is large: an explicit independent set
+// inside one vertex's neighborhood. It is the adversarial counterpart of
+// Instance (whose Beta certifies an upper bound): these are the inputs on
+// which Theorem 2.1 promises nothing and the G_Δ backend is expected to
+// degrade, while the EDCS backend keeps its arbitrary-graph guarantee.
+type UnboundedInstance struct {
+	Name string
+	G    *graph.Static
+	// Center is the witness vertex.
+	Center int32
+	// Independent is a set of pairwise non-adjacent neighbors of Center;
+	// its size is a certified lower bound on β(G).
+	Independent []int32
+}
+
+// BetaLowerBound returns the certified lower bound on the neighborhood
+// independence number: |Independent|.
+func (u UnboundedInstance) BetaLowerBound() int { return len(u.Independent) }
+
+// VerifyWitness re-derives the certificate from the graph: every witness
+// vertex must be a neighbor of Center and no two may be adjacent. O(w²·log)
+// in the witness size — cheap next to any oracle run.
+func (u UnboundedInstance) VerifyWitness() error {
+	for i, v := range u.Independent {
+		if !u.G.HasEdge(u.Center, v) {
+			return fmt.Errorf("gen: %s: witness vertex %d is not a neighbor of center %d", u.Name, v, u.Center)
+		}
+		for _, w := range u.Independent[i+1:] {
+			if u.G.HasEdge(v, w) {
+				return fmt.Errorf("gen: %s: witness vertices %d and %d are adjacent", u.Name, v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// HiddenMatchingInstance is the adversarial dense-bipartite family for the
+// random-marking sparsifier. Vertices: L (pairs), R (pairs), and decoy sets
+// DL, DR (decoys each). Edges: the hidden perfect matching L_i–R_i, plus the
+// complete bipartite graphs L×DL and R×DR.
+//
+//   - MCM(G) = pairs + min(pairs, decoys): the hidden matching plus one
+//     decoy partner per side for min(pairs, decoys) pairs.
+//   - β(G) ≥ pairs: N(any DL vertex) = L, pairwise non-adjacent.
+//   - Every L/R vertex has degree decoys+1, so once decoys+1 exceeds the
+//     mark-all threshold 2Δ, vertex L_i marks its essential edge only with
+//     probability ≈ Δ/(decoys+1) — the hidden matching mostly vanishes from
+//     G_Δ and its ratio degrades toward pairs/(2·decoys), while an EDCS's
+//     property P2 forces the degree-starved essential edges back in.
+//
+// The construction is deterministic (no randomness to seed).
+func HiddenMatchingInstance(pairs, decoys int) UnboundedInstance {
+	if pairs < 1 || decoys < 1 {
+		invariant.Violatef("gen: HiddenMatchingInstance needs pairs, decoys >= 1 (got %d, %d)", pairs, decoys)
+	}
+	// Layout: L = [0, pairs), R = [pairs, 2·pairs),
+	// DL = [2·pairs, 2·pairs+decoys), DR = [2·pairs+decoys, 2·pairs+2·decoys).
+	l := func(i int) int32 { return int32(i) }
+	r := func(i int) int32 { return int32(pairs + i) }
+	dl := func(i int) int32 { return int32(2*pairs + i) }
+	dr := func(i int) int32 { return int32(2*pairs + decoys + i) }
+	b := graph.NewBuilder(2*pairs + 2*decoys)
+	for i := 0; i < pairs; i++ {
+		b.AddEdge(l(i), r(i))
+		for j := 0; j < decoys; j++ {
+			b.AddEdge(l(i), dl(j))
+			b.AddEdge(r(i), dr(j))
+		}
+	}
+	ind := make([]int32, pairs)
+	for i := range ind {
+		ind[i] = l(i)
+	}
+	return UnboundedInstance{
+		Name:        fmt.Sprintf("hidden%dx%d", pairs, decoys),
+		G:           b.Build(),
+		Center:      dl(0),
+		Independent: ind,
+	}
+}
+
+// HiddenMatchingMCM returns the closed-form maximum matching size of
+// HiddenMatchingInstance(pairs, decoys) — pairs + min(pairs, decoys) — so
+// harness code can skip the blossom oracle on large instances.
+func HiddenMatchingMCM(pairs, decoys int) int {
+	return pairs + min(pairs, decoys)
+}
+
+// GnpUnboundedInstance draws G(n, p) and certifies a β lower bound by
+// greedily extracting an independent set from the neighborhood of the
+// highest-degree vertex. For constant p the neighborhood independence of
+// G(n, p) is Θ(log n) w.h.p. — far above the O(1) β of every certified
+// bounded family — and the greedy witness typically realizes most of it.
+// Deterministic for a fixed (n, p, seed).
+func GnpUnboundedInstance(n int, p float64, seed uint64) UnboundedInstance {
+	g := ErdosRenyi(n, p, seed)
+	center, ind := greedyNeighborhoodIndependentSet(g)
+	return UnboundedInstance{
+		Name:        fmt.Sprintf("gnp%d", n),
+		G:           g,
+		Center:      center,
+		Independent: ind,
+	}
+}
+
+// greedyNeighborhoodIndependentSet picks the highest-degree vertex (lowest
+// id on ties) and greedily packs pairwise non-adjacent neighbors in
+// ascending id order — deterministic, polynomial, and sound: the result is
+// always a valid witness, merely not necessarily maximum.
+func greedyNeighborhoodIndependentSet(g *graph.Static) (int32, []int32) {
+	center := int32(0)
+	for v := int32(1); v < int32(g.N()); v++ {
+		if g.Degree(v) > g.Degree(center) {
+			center = v
+		}
+	}
+	var ind []int32
+	for _, v := range g.Neighbors(center) {
+		ok := true
+		for _, w := range ind {
+			if g.HasEdge(v, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ind = append(ind, v)
+		}
+	}
+	return center, ind
+}

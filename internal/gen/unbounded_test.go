@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+)
+
+// TestHiddenMatchingStructure checks the layout arithmetic, the closed-form
+// MCM against the blossom oracle, and the witness certificate.
+func TestHiddenMatchingStructure(t *testing.T) {
+	for _, tc := range []struct{ pairs, decoys int }{
+		{4, 2}, {10, 3}, {3, 8}, {1, 1},
+	} {
+		inst := HiddenMatchingInstance(tc.pairs, tc.decoys)
+		if got, want := inst.G.N(), 2*tc.pairs+2*tc.decoys; got != want {
+			t.Fatalf("pairs=%d decoys=%d: n = %d, want %d", tc.pairs, tc.decoys, got, want)
+		}
+		if got, want := inst.G.M(), tc.pairs+2*tc.pairs*tc.decoys; got != want {
+			t.Fatalf("pairs=%d decoys=%d: m = %d, want %d", tc.pairs, tc.decoys, got, want)
+		}
+		if err := inst.VerifyWitness(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := inst.BetaLowerBound(), tc.pairs; got != want {
+			t.Errorf("pairs=%d decoys=%d: beta lower bound %d, want %d", tc.pairs, tc.decoys, got, want)
+		}
+		oracle := matching.MaximumGeneral(inst.G).Size()
+		if got := HiddenMatchingMCM(tc.pairs, tc.decoys); got != oracle {
+			t.Errorf("pairs=%d decoys=%d: closed-form MCM %d, oracle %d", tc.pairs, tc.decoys, got, oracle)
+		}
+	}
+}
+
+// TestHiddenMatchingDeterministic: the construction has no randomness, so
+// two builds must be identical.
+func TestHiddenMatchingDeterministic(t *testing.T) {
+	a, b := HiddenMatchingInstance(12, 4), HiddenMatchingInstance(12, 4)
+	ae, be := a.G.Edges(), b.G.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}
+
+// TestGnpUnboundedWitness: the greedy witness must verify, be deterministic
+// for a fixed seed, and on constant-p G(n,p) certify a β far above the O(1)
+// bounds of the certified conformance families.
+func TestGnpUnboundedWitness(t *testing.T) {
+	inst := GnpUnboundedInstance(300, 0.3, 7)
+	if err := inst.VerifyWitness(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.BetaLowerBound() < 5 {
+		t.Errorf("G(300, 0.3): witness size %d suspiciously small", inst.BetaLowerBound())
+	}
+	again := GnpUnboundedInstance(300, 0.3, 7)
+	if again.Center != inst.Center || len(again.Independent) != len(inst.Independent) {
+		t.Fatal("same-seed rebuild produced a different witness")
+	}
+	for i := range inst.Independent {
+		if inst.Independent[i] != again.Independent[i] {
+			t.Fatal("same-seed rebuild produced a different witness set")
+		}
+	}
+}
+
+// TestVerifyWitnessRejects hand-builds broken witnesses: a non-neighbor and
+// an adjacent pair must both be refused.
+func TestVerifyWitnessRejects(t *testing.T) {
+	inst := HiddenMatchingInstance(4, 2)
+	nonNeighbor := inst
+	nonNeighbor.Independent = []int32{inst.Center} // center is not its own neighbor
+	if err := nonNeighbor.VerifyWitness(); err == nil {
+		t.Error("non-neighbor witness accepted")
+	}
+	adjacent := UnboundedInstance{
+		Name:        "lie",
+		G:           Clique(4),
+		Center:      0,
+		Independent: []int32{1, 2}, // adjacent in a clique
+	}
+	if err := adjacent.VerifyWitness(); err == nil {
+		t.Error("adjacent witness accepted")
+	}
+}

@@ -16,7 +16,7 @@ import (
 
 // BenchSchema identifies the BENCH_*.json layout; bump on incompatible
 // changes so trajectory tooling can refuse files it does not understand.
-const BenchSchema = "sparsematch/bench/v1"
+const BenchSchema = "sparsematch/bench/v2"
 
 // BenchResult is one measured configuration of a benchmark experiment.
 // NsPerOp/AllocsPerOp/BytesPerOp come from testing.Benchmark, so they are
@@ -24,18 +24,23 @@ const BenchSchema = "sparsematch/bench/v1"
 type BenchResult struct {
 	// Experiment is the benchmark id (e.g. "T5-phase"); Instance pins the
 	// exact workload within it.
-	Experiment  string `json:"experiment"`
-	Instance    string `json:"instance"`
+	Experiment string `json:"experiment"`
+	Instance   string `json:"instance"`
+	// Backend is the sparsifier backend the row ran under ("gdelta",
+	// "edcs") — rows of the same experiment are comparable only within a
+	// backend.
+	Backend     string `json:"backend"`
 	Workers     int    `json:"workers"`
 	Iterations  int    `json:"iterations"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	// SpeedupVs1W is ns/op of the Workers==1 row of the same
-	// (Experiment, Instance) divided by this row's ns/op; 1.0 for the
-	// baseline row itself. Wall-clock scaling is bounded by NumCPU — judge
+	// (Experiment, Backend, Instance) divided by this row's ns/op; 1.0 for
+	// the baseline row itself. On a single-CPU machine parallel speedup is
+	// unmeasurable, so the field is null (never a fabricated 1.0x) — judge
 	// multi-worker rows against the machine block of the report.
-	SpeedupVs1W float64 `json:"speedup_vs_1w"`
+	SpeedupVs1W *float64 `json:"speedup_vs_1w"`
 	// MatchSize is the matching size the measured operation produced
 	// (identical across worker counts — the engine's determinism contract).
 	MatchSize int `json:"match_size,omitempty"`
@@ -99,32 +104,40 @@ func MatchingBench(cfg Config) BenchReport {
 	// T5-phase: phase schedule on the sparsifier, worker sweep.
 	rep.Results = append(rep.Results, sweepPhases("T5-phase", name, sp, eps, cfg.Seed+31)...)
 
-	// T5-pipeline: sparsify + phases end to end, worker sweep.
-	var pipeRows []BenchResult
-	for _, w := range benchWorkerCounts {
-		w := w
-		var size int
-		r := testing.Benchmark(func(b *testing.B) {
-			e := matching.NewEngine(matching.Options{Workers: w})
-			defer e.Close()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				spw := core.SparsifyOpts(g, core.Options{Delta: delta, Workers: w}, cfg.Seed+29)
-				m := matching.NewMatching(spw.N())
-				e.PhaseStructuredApproxInto(spw, m, eps, cfg.Seed+31)
-				size = m.Size()
+	// T5-pipeline: sparsify + phases end to end, worker sweep, one row set
+	// per registered sparsifier backend.
+	for _, backendName := range core.BackendNames() {
+		var pipeRows []BenchResult
+		for _, w := range benchWorkerCounts {
+			w := w
+			backend, err := core.BackendByName(backendName, w)
+			if err != nil {
+				panic(err) // registry names come from the registry itself
 			}
-		})
-		pipeRows = append(pipeRows, BenchResult{
-			Experiment: "T5-pipeline", Instance: name, Workers: w,
-			Iterations: r.N, NsPerOp: r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
-			MatchSize: size,
-		})
+			var size int
+			r := testing.Benchmark(func(b *testing.B) {
+				e := matching.NewEngine(matching.Options{Workers: w})
+				defer e.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					spw := backend.Sparsify(g, beta, eps, cfg.Seed+29)
+					m := matching.NewMatching(spw.N())
+					e.PhaseStructuredApproxInto(spw, m, eps, cfg.Seed+31)
+					size = m.Size()
+				}
+			})
+			pipeRows = append(pipeRows, BenchResult{
+				Experiment: "T5-pipeline", Instance: name, Backend: backendName,
+				Workers:    w,
+				Iterations: r.N, NsPerOp: r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+				MatchSize: size,
+			})
+		}
+		fillSpeedups(pipeRows)
+		rep.Results = append(rep.Results, pipeRows...)
 	}
-	fillSpeedups(pipeRows)
-	rep.Results = append(rep.Results, pipeRows...)
 
 	// greedy-steady: zero-allocation greedy on the sparsifier.
 	{
@@ -141,12 +154,15 @@ func MatchingBench(cfg Config) BenchReport {
 			}
 			size = m.Size()
 		})
-		rep.Results = append(rep.Results, BenchResult{
-			Experiment: "greedy-steady", Instance: name, Workers: 1,
+		rows := []BenchResult{{
+			Experiment: "greedy-steady", Instance: name, Backend: "gdelta",
+			Workers:    1,
 			Iterations: r.N, NsPerOp: r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
-			SpeedupVs1W: 1, MatchSize: size,
-		})
+			MatchSize: size,
+		}}
+		fillSpeedups(rows)
+		rep.Results = append(rep.Results, rows...)
 	}
 	return rep
 }
@@ -173,7 +189,7 @@ func sweepPhases(id, instance string, g *graph.Static, eps float64, seed uint64)
 			size = m.Size()
 		})
 		rows = append(rows, BenchResult{
-			Experiment: id, Instance: instance, Workers: w,
+			Experiment: id, Instance: instance, Backend: "gdelta", Workers: w,
 			Iterations: r.N, NsPerOp: r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
 			MatchSize: size,
@@ -183,18 +199,25 @@ func sweepPhases(id, instance string, g *graph.Static, eps float64, seed uint64)
 	return rows
 }
 
-// fillSpeedups sets SpeedupVs1W on every row from the Workers==1 row of the
-// same (Experiment, Instance).
+// fillSpeedups sets SpeedupVs1W on every row from the Workers==1 row of
+// the same (Experiment, Backend, Instance). On a single-CPU machine the
+// rows are left null: a worker sweep that was serialized onto one core
+// measures scheduling overhead, not parallel speedup, and a fabricated
+// "1.0x" would read as a measured result downstream.
 func fillSpeedups(rows []BenchResult) {
+	if runtime.NumCPU() < 2 {
+		return
+	}
 	base := make(map[string]int64)
 	for _, r := range rows {
 		if r.Workers == 1 {
-			base[r.Experiment+"\x00"+r.Instance] = r.NsPerOp
+			base[r.Experiment+"\x00"+r.Backend+"\x00"+r.Instance] = r.NsPerOp
 		}
 	}
 	for i := range rows {
-		if b, ok := base[rows[i].Experiment+"\x00"+rows[i].Instance]; ok && rows[i].NsPerOp > 0 {
-			rows[i].SpeedupVs1W = float64(b) / float64(rows[i].NsPerOp)
+		if b, ok := base[rows[i].Experiment+"\x00"+rows[i].Backend+"\x00"+rows[i].Instance]; ok && rows[i].NsPerOp > 0 {
+			s := float64(b) / float64(rows[i].NsPerOp)
+			rows[i].SpeedupVs1W = &s
 		}
 	}
 }

@@ -45,6 +45,7 @@ func All() []Experiment {
 		{"T15", "Dynamic distributed maintenance: memory and messages", T15},
 		{"T16", "Fault injection: degradation, self-healing, crash recovery", T16},
 		{"T17", "Parallel phase-engine scaling and worker-invariance", T17},
+		{"T18", "Sparsifier backend shootout: G_Δ vs EDCS on (un)bounded β", T18},
 		{"F1", "Failure-probability concentration vs n (Thm 2.1)", F1},
 		{"F2", "Preserved matching fraction vs Δ (figure series)", F2},
 		{"F3", "Matching lower bound across families (Lemma 2.2)", F3},

@@ -119,6 +119,73 @@ func AugLenCapped(eps float64) int {
 // AugIters returns the distributed augmentation iteration count 8·Δα.
 func AugIters(deltaAlpha int) int { return satMul(deltaAlpha, 8) }
 
+// EDCSLambda returns the EDCS slack parameter λ mapped from the library's
+// user-facing ε surface: λ = min(ε/2, 1/4). The Assadi–Bernstein unification
+// (and the tight analysis of Azarmehr–Behnezhad–Roghani) give an EDCS the
+// approximation ratio 3/2 + O(λ) on ARBITRARY graphs, so halving ε keeps the
+// measured ratios comfortably inside 3/2 + ε (calibrated in T18); the 1/4
+// cap keeps the two EDCS thresholds separated for any ε.
+func EDCSLambda(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		invariant.Violatef("params: eps must be in (0,1), got %v", eps)
+	}
+	return min(eps/2, 0.25)
+}
+
+// EDCSBeta returns the lean EDCS degree-sum bound β_edcs = max(8, ⌈6/λ⌉).
+// The tight analysis needs β_edcs = Θ(1/λ) for the 3/2 + O(λ) ratio; the
+// constant 6 is the experimental calibration (T18), analogous to dropping
+// the proof constant in Delta. The floor 8 guarantees λ·β_edcs ≥ 2, which
+// keeps the fixpoint's add threshold strictly below the removal threshold.
+func EDCSBeta(eps float64) int {
+	return max(8, ceilInt(6/EDCSLambda(eps)))
+}
+
+// EDCSLowThreshold returns the EDCS property-P2 threshold ⌈β_edcs·(1−λ)⌉,
+// capped at β_edcs − 1: an edge OUTSIDE the subgraph must have H-degree sum
+// at least this value. The cap makes every addition immediately safe for
+// property P1 (after adding an edge with degree sum < threshold, the sum is
+// at most β_edcs), so the fixpoint loop never overshoots.
+func EDCSLowThreshold(betaEDCS int, lambda float64) int {
+	if betaEDCS < 2 {
+		invariant.Violatef("params: EDCS beta must be >= 2, got %d", betaEDCS)
+	}
+	if lambda <= 0 || lambda >= 1 {
+		invariant.Violatef("params: EDCS lambda must be in (0,1), got %v", lambda)
+	}
+	return min(ceilInt(float64(betaEDCS)*(1-lambda)), betaEDCS-1)
+}
+
+// EDCS holds the resolved parameters of the EDCS sparsifier backend
+// (edge-degree-constrained subgraph: Assadi–Bernstein's unification,
+// with the tight ratio analysis of Azarmehr–Behnezhad–Roghani).
+type EDCS struct {
+	// Beta is the degree-sum bound of property P1: every subgraph edge
+	// (u,v) has deg_H(u) + deg_H(v) ≤ Beta.
+	Beta int
+	// Lambda is the slack of property P2: every non-subgraph edge has
+	// deg_H(u) + deg_H(v) ≥ Beta·(1−Lambda).
+	Lambda float64
+	// LowThreshold is the resolved integer P2 threshold.
+	LowThreshold int
+}
+
+// ResolveFor fills zero-valued fields from ε. The neighborhood-independence
+// bound β deliberately does not appear: the EDCS guarantee holds on
+// arbitrary graphs, which is exactly why the backend exists.
+func (p EDCS) ResolveFor(eps float64) EDCS {
+	if p.Lambda == 0 {
+		p.Lambda = EDCSLambda(eps)
+	}
+	if p.Beta == 0 {
+		p.Beta = EDCSBeta(eps)
+	}
+	if p.LowThreshold == 0 {
+		p.LowThreshold = EDCSLowThreshold(p.Beta, p.Lambda)
+	}
+	return p
+}
+
 // Workers resolves a requested worker count: zero means GOMAXPROCS.
 func Workers(requested int) int {
 	if requested == 0 {

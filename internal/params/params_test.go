@@ -213,3 +213,46 @@ func TestDynamicResolveFor(t *testing.T) {
 		Dynamic{}.ResolveFor(1, 0)
 	}()
 }
+
+func TestEDCSResolveFor(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.3, 0.2, 0.1, 0.05} {
+		lam := EDCSLambda(eps)
+		if lam <= 0 || lam > 0.25 {
+			t.Errorf("eps=%v: lambda %v out of (0, 0.25]", eps, lam)
+		}
+		be := EDCSBeta(eps)
+		if be < 8 {
+			t.Errorf("eps=%v: beta_edcs = %d below floor 8", eps, be)
+		}
+		lo := EDCSLowThreshold(be, lam)
+		if lo >= be {
+			t.Errorf("eps=%v: low threshold %d not below beta_edcs %d", eps, lo, be)
+		}
+		// The separation the fixpoint's safety argument needs: adding an
+		// edge with degree sum < lo leaves the sum at most lo+1 <= beta.
+		if lo+1 > be {
+			t.Errorf("eps=%v: add overshoots P1: lo=%d beta=%d", eps, lo, be)
+		}
+		r := EDCS{}.ResolveFor(eps)
+		if r.Beta != be || r.Lambda != lam || r.LowThreshold != lo {
+			t.Errorf("eps=%v: ResolveFor = %+v, want beta=%d lambda=%v lo=%d", eps, r, be, lam, lo)
+		}
+	}
+	// Smaller eps means a stricter (larger) degree bound.
+	if EDCSBeta(0.1) <= EDCSBeta(0.4) {
+		t.Errorf("beta_edcs not monotone: eps=0.1 -> %d, eps=0.4 -> %d", EDCSBeta(0.1), EDCSBeta(0.4))
+	}
+	// Overrides are preserved.
+	r := EDCS{Beta: 30, Lambda: 0.2, LowThreshold: 24}.ResolveFor(0.2)
+	if r != (EDCS{Beta: 30, Lambda: 0.2, LowThreshold: 24}) {
+		t.Errorf("full overrides clobbered: %+v", r)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EDCSLambda(0) did not panic")
+			}
+		}()
+		EDCSLambda(0)
+	}()
+}

@@ -164,21 +164,25 @@ func TestModelDeterminism(t *testing.T) {
 }
 
 // TestWorkerDeterminismAndConformance pins the sequential model's
-// Workers-sharding contract: for a fixed (seed, Workers) the output is
-// deterministic, and EVERY worker count yields a sparsifier passing the
-// deterministic checkers (worker counts change which edges are marked, not
-// the distribution's guarantees).
+// Workers-sharding contract: for a fixed seed the output is deterministic
+// AND bit-identical for every worker count (RNG streams are keyed by fixed
+// vertex blocks, not worker ranges), and it passes the deterministic
+// checkers.
 func TestWorkerDeterminismAndConformance(t *testing.T) {
 	const eps = 0.3
 	n, _ := conformanceScale(t)
 	inst := ConformanceFamilies(192)[0].Make(n, 0) // clique
 	delta := params.Delta(inst.Beta, eps)
+	base := core.SparsifyOpts(inst.G, core.Options{Delta: delta, Workers: 1}, 77)
 	for _, workers := range []int{1, 2, 3, 8} {
 		opt := core.Options{Delta: delta, Workers: workers}
 		a := core.SparsifyOpts(inst.G, opt, 77)
 		b := core.SparsifyOpts(inst.G, opt, 77)
 		if err := CheckSameGraph(a, b); err != nil {
 			t.Errorf("workers=%d: same-seed rebuild differs: %v", workers, err)
+		}
+		if err := CheckSameGraph(base, a); err != nil {
+			t.Errorf("workers=%d: output differs from workers=1: %v", workers, err)
 		}
 		if err := CheckSparsifierConformance(inst, a, 2*delta); err != nil {
 			t.Errorf("workers=%d: %v", workers, err)

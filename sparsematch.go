@@ -64,17 +64,32 @@ func DeltaFor(beta int, eps float64) int { return core.DeltaFor(beta, eps) }
 // ⌈(β/ε)·ln(24/ε)⌉, the library default (see EXPERIMENTS.md, T1/F2).
 func DeltaLean(beta int, eps float64) int { return core.DeltaLean(beta, eps) }
 
-// Sparsify builds the (1+ε)-matching sparsifier G_Δ of g for a graph with
-// neighborhood independence at most beta, using Δ = DeltaLean(beta, eps).
-// The approximation guarantee holds with high probability; the size bound
-// |E(G_Δ)| ≤ 4·|MCM(g)|·Δ and arboricity bound 2Δ hold deterministically.
+// Sparsify builds the (1+ε)-matching sparsifier G_Δ of g — the default
+// "gdelta" backend — for a graph with neighborhood independence at most
+// beta, using Δ = DeltaLean(beta, eps). The approximation guarantee holds
+// with high probability; the size bound |E(G_Δ)| ≤ 4·|MCM(g)|·Δ and
+// arboricity bound 2Δ hold deterministically. SparsifyBackend selects other
+// backends by name.
 func Sparsify(g *Graph, beta int, eps float64, seed uint64) *Graph {
 	return core.Sparsify(g, core.DeltaLean(beta, eps), seed)
 }
 
-// SparsifyDelta builds G_Δ with an explicit per-vertex mark count.
+// SparsifyDelta builds the G_Δ backend's sparsifier with an explicit
+// per-vertex mark count.
 func SparsifyDelta(g *Graph, delta int, seed uint64) *Graph {
 	return core.Sparsify(g, delta, seed)
+}
+
+// SparsifyBackend builds the sparsifier of g with the named backend:
+// "gdelta" (or "") for the paper's G_Δ random marking, "edcs" for the
+// edge-degree-constrained subgraph, whose 3/2+O(λ) guarantee holds on
+// arbitrary graphs — no bound on beta needed (the backend ignores it).
+func SparsifyBackend(g *Graph, backend string, beta int, eps float64, seed uint64) (*Graph, error) {
+	b, err := core.BackendByName(backend, 0)
+	if err != nil {
+		return nil, err
+	}
+	return b.Sparsify(g, beta, eps, seed), nil
 }
 
 // ApproximateMatching computes a (1+ε)-approximate maximum matching of a
