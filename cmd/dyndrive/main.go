@@ -55,12 +55,10 @@ func main() {
 }
 
 func generate(family string, n int, avgDeg float64, churn int, out string, seed uint64) error {
-	g, _, err := cli.MakeGraph(family, n, avgDeg, seed)
+	tr, err := cli.MakeTrace(family, n, avgDeg, churn, seed)
 	if err != nil {
 		return err
 	}
-	tr := trace.Trace{N: g.N(), Updates: dynmatch.BuildUpdates(g, seed)}
-	tr.Updates = append(tr.Updates, dynmatch.ObliviousChurn(g, churn, seed+1)...)
 	w := os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
@@ -74,7 +72,7 @@ func generate(family string, n int, avgDeg float64, churn int, out string, seed 
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "dyndrive: wrote trace: n=%d, %d updates (%d load + %d churn)\n",
-		tr.N, len(tr.Updates), g.M(), 2*churn)
+		tr.N, len(tr.Updates), len(tr.Updates)-2*churn, 2*churn)
 	return nil
 }
 

@@ -1,5 +1,5 @@
 // Command sparsebench regenerates the evaluation tables and figure series
-// of the reproduction (T1–T17, F1–F3 in DESIGN.md).
+// of the reproduction (T1–T19, F1–F3 in DESIGN.md).
 //
 // Usage:
 //
@@ -10,8 +10,10 @@
 // Without -experiment it runs the full suite in order. `-format json` runs
 // the matching benchmark gate instead of the tables: it measures the phase
 // engine's hot paths per worker count and sparsifier backend with
-// testing.Benchmark and writes a machine-readable BenchReport (schema
-// sparsematch/bench/v2) to -benchout. Parallel speedups are reported only
+// testing.Benchmark, plus the serving path's throughput and latency
+// (T19-serve rows, million-vertex instance), and writes a machine-readable
+// BenchReport (schema sparsematch/bench/v3) to -benchout. Parallel
+// speedups are reported only
 // on multi-CPU machines — single-CPU runs emit null speedups ("n/a").
 // The pprof flags wrap whichever mode runs; see DESIGN.md §Performance for
 // the profiling workflow.

@@ -1,0 +1,21 @@
+package cli
+
+import (
+	"repro/internal/dynmatch"
+	"repro/internal/trace"
+)
+
+// MakeTrace generates a dynamic-update trace for the named graph family:
+// a randomized load of the generated graph's edges followed by churn
+// delete/reinsert pairs. It is the one trace generator shared by
+// cmd/dyndrive, cmd/matchd, and the serving experiments, so a (family, n,
+// avgdeg, churn, seed) tuple names the same workload everywhere.
+func MakeTrace(family string, n int, avgDeg float64, churn int, seed uint64) (trace.Trace, error) {
+	g, _, err := MakeGraph(family, n, avgDeg, seed)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	tr := trace.Trace{N: g.N(), Updates: dynmatch.BuildUpdates(g, seed)}
+	tr.Updates = append(tr.Updates, dynmatch.ObliviousChurn(g, churn, seed+1)...)
+	return tr, nil
+}

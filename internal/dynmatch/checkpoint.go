@@ -94,27 +94,94 @@ func (mt *Maintainer) Snapshot() *Checkpoint {
 	}
 }
 
+// A RestoreError reports a checkpoint that decoded at the byte level but
+// fails semantic validation: a corrupt graph, an invalid matching, or
+// out-of-range options. Field names the part of the checkpoint at fault.
+type RestoreError struct {
+	Field string
+	Why   string
+	Err   error // underlying cause, when one exists
+}
+
+func (e *RestoreError) Error() string {
+	return fmt.Sprintf("dynmatch: corrupt checkpoint %s: %s", e.Field, e.Why)
+}
+
+func (e *RestoreError) Unwrap() error { return e.Err }
+
+// validate checks the option ranges Restore depends on, so that a corrupt
+// checkpoint yields an error instead of reaching the invariant.Violatef
+// panic inside params resolution (New's contract for programmer-supplied
+// options, wrong for untrusted bytes).
+func (o Options) validate() error {
+	if o.Beta < 1 {
+		return &RestoreError{Field: "options", Why: fmt.Sprintf("beta %d, want >= 1", o.Beta)}
+	}
+	if !(o.Eps > 0 && o.Eps < 1) { // negated to catch NaN
+		return &RestoreError{Field: "options", Why: fmt.Sprintf("eps %v outside (0,1)", o.Eps)}
+	}
+	if o.Delta < 0 || o.Sweeps < 0 || o.MinBudget < 0 {
+		return &RestoreError{Field: "options",
+			Why: fmt.Sprintf("negative delta %d, sweeps %d, or budget floor %d", o.Delta, o.Sweeps, o.MinBudget)}
+	}
+	return nil
+}
+
+// validateMatching checks that mates is a valid matching of g with the
+// claimed size; field names the checkpoint section in errors.
+func validateMatching(g *graph.Dynamic, mates []int32, size int, field string) error {
+	m := matching.WrapMates(mates, size)
+	if err := matching.Verify(g.Snapshot(), m); err != nil {
+		return &RestoreError{Field: field, Why: err.Error(), Err: err}
+	}
+	return nil
+}
+
 // Restore reconstructs a Maintainer from a checkpoint, e.g. after a crash
-// with full state loss. The checkpoint is validated structurally (graph
-// symmetry, array lengths, phase range); a damaged checkpoint yields an
-// error, never a silently corrupt maintainer.
+// with full state loss. The checkpoint is validated semantically (graph
+// symmetry, matching validity against the restored graph, option and
+// cursor ranges); a damaged checkpoint yields a typed *RestoreError, never
+// a silently corrupt maintainer and never a panic.
 func Restore(c *Checkpoint) (*Maintainer, error) {
+	if err := c.opt.validate(); err != nil {
+		return nil, err
+	}
+	if c.budget < 0 {
+		return nil, &RestoreError{Field: "budget", Why: fmt.Sprintf("negative budget %d", c.budget)}
+	}
 	g, err := graph.DynamicFromAdjacency(c.adj)
 	if err != nil {
-		return nil, fmt.Errorf("dynmatch: corrupt checkpoint graph: %w", err)
+		return nil, &RestoreError{Field: "graph", Why: err.Error(), Err: err}
 	}
 	n := g.N()
 	if len(c.mates) != n || len(c.run.mate) != n || len(c.run.adj) != n {
-		return nil, fmt.Errorf("dynmatch: checkpoint arrays sized for %d/%d/%d vertices, graph has %d",
-			len(c.mates), len(c.run.mate), len(c.run.adj), n)
+		return nil, &RestoreError{Field: "arrays",
+			Why: fmt.Sprintf("sized for %d/%d/%d vertices, graph has %d", len(c.mates), len(c.run.mate), len(c.run.adj), n)}
 	}
 	if c.run.phase < phaseSample || c.run.phase > phaseDone {
-		return nil, fmt.Errorf("dynmatch: checkpoint run phase %d out of range", c.run.phase)
+		return nil, &RestoreError{Field: "run", Why: fmt.Sprintf("phase %d out of range", c.run.phase)}
+	}
+	if c.run.cursor < 0 || int(c.run.cursor) > n {
+		return nil, &RestoreError{Field: "run", Why: fmt.Sprintf("cursor %d outside [0,%d]", c.run.cursor, n)}
+	}
+	if c.run.units < 0 {
+		return nil, &RestoreError{Field: "run", Why: fmt.Sprintf("negative units %d", c.run.units)}
+	}
+	if err := validateMatching(g, slices.Clone(c.mates), c.size, "matching"); err != nil {
+		return nil, err
+	}
+	// The in-progress run's partial matching lives on a sampled subgraph of
+	// g, so its pairs must be edges of g too.
+	if err := validateMatching(g, slices.Clone(c.run.mate), c.run.size, "run matching"); err != nil {
+		return nil, err
 	}
 	opt, maxLen := c.opt.resolve()
+	if c.run.sweep < 0 || c.run.sweep > opt.Sweeps {
+		return nil, &RestoreError{Field: "run", Why: fmt.Sprintf("sweep %d outside [0,%d]", c.run.sweep, opt.Sweeps)}
+	}
 	src := &rand.PCG{}
 	if err := src.UnmarshalBinary(c.rng); err != nil {
-		return nil, fmt.Errorf("dynmatch: corrupt checkpoint rng state: %w", err)
+		return nil, &RestoreError{Field: "rng", Why: err.Error(), Err: err}
 	}
 	m := &Maintainer{
 		g:       g,

@@ -1,0 +1,314 @@
+package dynmatch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary checkpoint format (version 1), the durable form behind
+// `matchd -restore` and any other crash-restart path that must survive
+// process death. The encoding is canonical and deterministic — fixed-width
+// big-endian fields, adjacency rows in vertex order preserving the exact
+// slot order Snapshot captured — so marshaling the same checkpoint twice
+// yields identical bytes, and a restored maintainer replays updates
+// bit-identically (the PR-3 contract, now through a byte round trip).
+//
+// Layout:
+//
+//	magic   4 bytes  "DMCK"
+//	version 1 byte   (currently 1)
+//	options beta i64, eps f64, delta i64, sweeps i64, minBudget i64
+//	budget  i64
+//	graph   n u32, then per vertex: deg u32, deg × u32 neighbor
+//	mates   n × u32 (two's complement int32, -1 = unmatched)
+//	size    u32
+//	rng     len u16, len bytes (serialized PCG state)
+//	metrics 5 × i64 (updates, unitsTotal, maxUnitsUpdate, maxOverrun, recomputes)
+//	run     phase u8, cursor u32, sweep u32, progress u8,
+//	        adjacency (as above), mate n × u32, size u32, units i64
+const (
+	checkpointMagic   = "DMCK"
+	CheckpointVersion = 1
+)
+
+// A CheckpointFormatError reports a checkpoint byte string that cannot be
+// decoded: truncated, oversized, or carrying an out-of-range field. The
+// offset is the byte position at which decoding failed.
+type CheckpointFormatError struct {
+	Offset int
+	Why    string
+}
+
+func (e *CheckpointFormatError) Error() string {
+	return fmt.Sprintf("dynmatch: checkpoint byte %d: %s", e.Offset, e.Why)
+}
+
+// A CheckpointVersionError reports a checkpoint written by an incompatible
+// format version.
+type CheckpointVersionError struct {
+	Got byte
+}
+
+func (e *CheckpointVersionError) Error() string {
+	return fmt.Sprintf("dynmatch: checkpoint format version %d, want %d", e.Got, CheckpointVersion)
+}
+
+// maxCheckpointVertices bounds the vertex count a decoder will allocate
+// for, mirroring graph.MaxTextVertices's defense against length-field
+// allocation bombs.
+const maxCheckpointVertices = 1 << 28
+
+func appendAdjacency(dst []byte, adj [][]int32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(adj)))
+	for _, row := range adj {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(row)))
+		for _, w := range row {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(w))
+		}
+	}
+	return dst
+}
+
+func appendMates(dst []byte, mates []int32) []byte {
+	for _, w := range mates {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(w))
+	}
+	return dst
+}
+
+// MarshalBinary serializes the checkpoint. The output is canonical: equal
+// checkpoints marshal to equal bytes.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	n := len(c.adj)
+	dst := make([]byte, 0, 64+9*n)
+	dst = append(dst, checkpointMagic...)
+	dst = append(dst, CheckpointVersion)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(c.opt.Beta)))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c.opt.Eps))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(c.opt.Delta)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(c.opt.Sweeps)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(c.opt.MinBudget))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(c.budget))
+	dst = appendAdjacency(dst, c.adj)
+	dst = appendMates(dst, c.mates)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.size))
+	if len(c.rng) > math.MaxUint16 {
+		return nil, &CheckpointFormatError{Offset: len(dst), Why: fmt.Sprintf("rng state %d bytes exceeds %d", len(c.rng), math.MaxUint16)}
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(c.rng)))
+	dst = append(dst, c.rng...)
+	for _, v := range []int64{c.metrics.Updates, c.metrics.UnitsTotal, c.metrics.MaxUnitsUpdate, c.metrics.MaxOverrun, c.metrics.Recomputes} {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v))
+	}
+	dst = append(dst, byte(c.run.phase))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.run.cursor))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.run.sweep))
+	prog := byte(0)
+	if c.run.progress {
+		prog = 1
+	}
+	dst = append(dst, prog)
+	dst = appendAdjacency(dst, c.run.adj)
+	dst = appendMates(dst, c.run.mate)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.run.size))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(c.run.units))
+	return dst, nil
+}
+
+// ckReader decodes checkpoint fields with offset-tracked truncation checks.
+type ckReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *ckReader) fail(why string) {
+	if r.err == nil {
+		r.err = &CheckpointFormatError{Offset: r.off, Why: why}
+	}
+}
+
+func (r *ckReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.fail(fmt.Sprintf("truncated: need %d bytes, have %d", n, len(r.b)-r.off))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *ckReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *ckReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *ckReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *ckReader) i32() int32 { return int32(r.u32()) }
+
+func (r *ckReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *ckReader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *ckReader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// adjacency decodes one adjacency block. wantN < 0 means the block defines
+// n; otherwise the decoded n must equal wantN.
+func (r *ckReader) adjacency(wantN int) [][]int32 {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxCheckpointVertices {
+		r.fail(fmt.Sprintf("vertex count %d exceeds %d", n, maxCheckpointVertices))
+		return nil
+	}
+	if wantN >= 0 && int(n) != wantN {
+		r.fail(fmt.Sprintf("adjacency for %d vertices, want %d", n, wantN))
+		return nil
+	}
+	adj := make([][]int32, n)
+	for v := range adj {
+		deg := r.u32()
+		if r.err != nil {
+			return nil
+		}
+		// A degree field can never exceed the bytes that remain.
+		if int64(deg)*4 > int64(len(r.b)-r.off) {
+			r.fail(fmt.Sprintf("vertex %d: degree %d exceeds remaining payload", v, deg))
+			return nil
+		}
+		if deg == 0 {
+			continue
+		}
+		row := make([]int32, deg)
+		for i := range row {
+			w := r.i32()
+			if w < 0 || w >= int32(n) {
+				r.fail(fmt.Sprintf("vertex %d: neighbor %d outside [0,%d)", v, w, n))
+				return nil
+			}
+			row[i] = w
+		}
+		adj[v] = row
+	}
+	return adj
+}
+
+func (r *ckReader) mates(n int) []int32 {
+	mates := make([]int32, n)
+	for v := range mates {
+		w := r.i32()
+		if r.err != nil {
+			return nil
+		}
+		if w < -1 || w >= int32(n) {
+			r.fail(fmt.Sprintf("vertex %d: mate %d outside [-1,%d)", v, w, n))
+			return nil
+		}
+		mates[v] = w
+	}
+	return mates
+}
+
+// UnmarshalCheckpoint decodes a binary checkpoint. Errors are typed:
+// *CheckpointFormatError for truncated or corrupt bytes,
+// *CheckpointVersionError for an incompatible format version. The decoded
+// checkpoint is structurally well-formed at the byte level; Restore
+// performs the deeper semantic validation (graph symmetry, matching
+// validity, option ranges).
+func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
+	r := &ckReader{b: b}
+	got := r.take(len(checkpointMagic))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if string(got) != checkpointMagic {
+		return nil, &CheckpointFormatError{Offset: 0, Why: fmt.Sprintf("bad magic %q, want %q", got, checkpointMagic)}
+	}
+	v := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if v != CheckpointVersion {
+		return nil, &CheckpointVersionError{Got: v}
+	}
+	c := &Checkpoint{}
+	c.opt.Beta = int(r.i64())
+	c.opt.Eps = r.f64()
+	c.opt.Delta = int(r.i64())
+	c.opt.Sweeps = int(r.i64())
+	c.opt.MinBudget = r.i64()
+	c.budget = r.i64()
+	c.adj = r.adjacency(-1)
+	n := len(c.adj)
+	c.mates = r.mates(n)
+	c.size = int(r.u32())
+	rngLen := int(r.u16())
+	if rng := r.take(rngLen); rng != nil {
+		c.rng = append([]byte(nil), rng...)
+	}
+	for _, dst := range []*int64{&c.metrics.Updates, &c.metrics.UnitsTotal, &c.metrics.MaxUnitsUpdate, &c.metrics.MaxOverrun, &c.metrics.Recomputes} {
+		*dst = r.i64()
+	}
+	c.run.phase = int(r.u8())
+	c.run.cursor = r.i32()
+	c.run.sweep = int(r.u32())
+	switch p := r.u8(); p {
+	case 0, 1:
+		c.run.progress = p == 1
+	default:
+		r.fail(fmt.Sprintf("run progress flag %d, want 0 or 1", p))
+	}
+	c.run.adj = r.adjacency(n)
+	c.run.mate = r.mates(n)
+	c.run.size = int(r.u32())
+	c.run.units = r.i64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, &CheckpointFormatError{Offset: r.off, Why: fmt.Sprintf("%d trailing bytes", len(b)-r.off)}
+	}
+	return c, nil
+}

@@ -1,0 +1,239 @@
+package dynmatch
+
+import (
+	"bytes"
+	"errors"
+	"slices"
+	"testing"
+)
+
+// marshaled builds a maintainer mid-trace and returns its serialized
+// checkpoint plus the maintainer itself.
+func marshaled(t *testing.T, n, k int, seed uint64) (*Maintainer, []byte) {
+	t.Helper()
+	mt := New(n, Options{Beta: 2, Eps: 0.3}, seed)
+	apply(mt, randomTrace(n, k, seed+1))
+	b, err := mt.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mt, b
+}
+
+// TestCheckpointCodecBitIdenticalContinuation extends the PR-3 contract
+// through the byte codec: a maintainer restored from MARSHALED bytes
+// replays the remainder of a trace bit-identically to the survivor.
+func TestCheckpointCodecBitIdenticalContinuation(t *testing.T) {
+	const n = 100
+	trace := randomTrace(n, 2400, 21)
+	for _, cut := range []int{0, 473, 1200, 2399} {
+		mt := New(n, Options{Beta: 2, Eps: 0.3}, 7)
+		apply(mt, trace[:cut])
+		b, err := mt.Snapshot().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply(mt, trace[cut:])
+
+		c, err := UnmarshalCheckpoint(b)
+		if err != nil {
+			t.Fatalf("cut %d: unmarshal: %v", cut, err)
+		}
+		restored, err := Restore(c)
+		if err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+		apply(restored, trace[cut:])
+		if !slices.Equal(mt.Matching().Mates(), restored.Matching().Mates()) {
+			t.Fatalf("cut %d: byte-codec restore diverged", cut)
+		}
+		if mt.Metrics() != restored.Metrics() {
+			t.Fatalf("cut %d: metrics diverged", cut)
+		}
+	}
+}
+
+// TestCheckpointCodecCanonical pins that marshaling is deterministic and
+// that a decode→encode round trip is byte-identical.
+func TestCheckpointCodecCanonical(t *testing.T) {
+	mt, b1 := marshaled(t, 60, 900, 3)
+	b2, err := mt.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two marshals of the same state differ")
+	}
+	c, err := UnmarshalCheckpoint(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("decode→encode is not byte-identical")
+	}
+}
+
+// TestCheckpointCodecTruncation decodes every strict prefix of a valid
+// checkpoint: each must yield a typed error, never a panic and never
+// success.
+func TestCheckpointCodecTruncation(t *testing.T) {
+	_, b := marshaled(t, 40, 500, 9)
+	for cut := 0; cut < len(b); cut++ {
+		_, err := UnmarshalCheckpoint(b[:cut])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(b))
+		}
+		var fe *CheckpointFormatError
+		var ve *CheckpointVersionError
+		if !errors.As(err, &fe) && !errors.As(err, &ve) {
+			t.Fatalf("prefix %d: untyped error %T: %v", cut, err, err)
+		}
+	}
+}
+
+// TestCheckpointCodecNegativePaths is the table-driven error-path sweep:
+// version mismatches and targeted corruptions must produce the right typed
+// error at decode or restore time.
+func TestCheckpointCodecNegativePaths(t *testing.T) {
+	_, valid := marshaled(t, 30, 400, 5)
+
+	mutate := func(f func(b []byte)) []byte {
+		b := bytes.Clone(valid)
+		f(b)
+		return b
+	}
+	type target int
+	const (
+		wantFormat target = iota
+		wantVersion
+		wantRestore
+	)
+	cases := []struct {
+		name string
+		in   []byte
+		want target
+	}{
+		{"empty", nil, wantFormat},
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' }), wantFormat},
+		{"version mismatch", mutate(func(b []byte) { b[4] = CheckpointVersion + 1 }), wantVersion},
+		{"trailing bytes", append(bytes.Clone(valid), 0xEE), wantFormat},
+		{"negative beta", mutate(func(b []byte) {
+			// opt.Beta is the first i64 after magic+version (offset 5).
+			for i := 5; i < 13; i++ {
+				b[i] = 0xFF
+			}
+		}), wantRestore},
+		{"NaN eps", mutate(func(b []byte) {
+			// opt.Eps is the f64 at offset 13.
+			copy(b[13:21], []byte{0x7F, 0xF8, 0, 0, 0, 0, 0, 1})
+		}), wantRestore},
+		{"negative budget", mutate(func(b []byte) {
+			// budget is the i64 at offset 45 (after 5 option fields).
+			for i := 45; i < 53; i++ {
+				b[i] = 0xFF
+			}
+		}), wantRestore},
+		{"huge vertex count", mutate(func(b []byte) {
+			// graph n is the u32 at offset 53.
+			b[53], b[54], b[55], b[56] = 0xFF, 0xFF, 0xFF, 0xFF
+		}), wantFormat},
+	}
+	for _, tc := range cases {
+		c, err := UnmarshalCheckpoint(tc.in)
+		if err == nil {
+			_, err = Restore(c)
+		}
+		if err == nil {
+			t.Errorf("%s: accepted a corrupt checkpoint", tc.name)
+			continue
+		}
+		var fe *CheckpointFormatError
+		var ve *CheckpointVersionError
+		var re *RestoreError
+		switch tc.want {
+		case wantFormat:
+			if !errors.As(err, &fe) {
+				t.Errorf("%s: err = %T %v, want *CheckpointFormatError", tc.name, err, err)
+			}
+		case wantVersion:
+			if !errors.As(err, &ve) {
+				t.Errorf("%s: err = %T %v, want *CheckpointVersionError", tc.name, err, err)
+			}
+		case wantRestore:
+			if !errors.As(err, &re) {
+				t.Errorf("%s: err = %T %v, want *RestoreError", tc.name, err, err)
+			}
+		}
+	}
+}
+
+// TestRestoreRejectsCorruptMatching pins the deepened Restore validation:
+// a checkpoint whose matching is not a valid matching of its graph (broken
+// involution, dead edge, wrong size) is refused with a *RestoreError —
+// previously these produced a silently corrupt maintainer.
+func TestRestoreRejectsCorruptMatching(t *testing.T) {
+	mt := New(24, Options{Beta: 2, Eps: 0.3}, 2)
+	apply(mt, randomTrace(24, 600, 13))
+	if mt.Size() == 0 {
+		t.Fatal("want a non-empty matching for this test")
+	}
+
+	corruptions := map[string]func(c *Checkpoint){
+		"broken involution": func(c *Checkpoint) {
+			for v, w := range c.mates {
+				if w >= 0 {
+					c.mates[v] = -1 // break one side of the pair
+					return
+				}
+			}
+		},
+		"wrong size": func(c *Checkpoint) { c.size++ },
+		"run matching dead edge": func(c *Checkpoint) {
+			// Match two vertices in the run's partial matching that are
+			// free and not adjacent in the graph.
+			u, v := int32(-1), int32(-1)
+			for x := range c.run.mate {
+				if c.run.mate[x] >= 0 {
+					continue
+				}
+				if u < 0 {
+					u = int32(x)
+					continue
+				}
+				adjacent := false
+				for _, w := range c.adj[u] {
+					if w == int32(x) {
+						adjacent = true
+						break
+					}
+				}
+				if !adjacent {
+					v = int32(x)
+					break
+				}
+			}
+			if u < 0 || v < 0 {
+				return // no free non-adjacent pair; leave valid (cannot happen at n=24)
+			}
+			c.run.mate[u], c.run.mate[v] = v, u
+			c.run.size++
+		},
+	}
+	for name, corrupt := range corruptions {
+		snap := mt.Snapshot()
+		corrupt(snap)
+		_, err := Restore(snap)
+		if err == nil {
+			t.Errorf("%s: Restore accepted an invalid matching", name)
+			continue
+		}
+		var re *RestoreError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: err = %T %v, want *RestoreError", name, err, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package dynmatch
+
+import (
+	"bytes"
+	"errors"
+	"slices"
+	"testing"
+)
+
+func applyEDCS(mt *EDCSWindowed, trace []update) {
+	for _, t := range trace {
+		if t.del {
+			mt.Delete(t.u, t.v)
+		} else {
+			mt.Insert(t.u, t.v)
+		}
+	}
+}
+
+// TestEDCSWindowedValidThroughout checks validity of the maintained
+// matching after every update of a mixed insert/delete trace.
+func TestEDCSWindowedValidThroughout(t *testing.T) {
+	const n = 80
+	mt := NewEDCSWindowed(n, 0.3, 4)
+	for i, u := range randomTrace(n, 1500, 17) {
+		if u.del {
+			mt.Delete(u.u, u.v)
+		} else {
+			mt.Insert(u.u, u.v)
+		}
+		if i%97 == 0 {
+			if err := mt.Validate(); err != nil {
+				t.Fatalf("update %d: %v", i, err)
+			}
+		}
+	}
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mt.Metrics().Recomputes == 0 {
+		t.Fatal("no window recompute ever ran")
+	}
+	if mt.Size() == 0 {
+		t.Fatal("matching stayed empty on a dense trace")
+	}
+}
+
+// TestEDCSWindowedDeterministic pins the bit-identical-across-runs
+// contract.
+func TestEDCSWindowedDeterministic(t *testing.T) {
+	const n = 60
+	trace := randomTrace(n, 1000, 23)
+	a := NewEDCSWindowed(n, 0.25, 9)
+	b := NewEDCSWindowed(n, 0.25, 9)
+	applyEDCS(a, trace)
+	applyEDCS(b, trace)
+	if !slices.Equal(a.Matching().Mates(), b.Matching().Mates()) {
+		t.Fatal("two runs with one seed diverged")
+	}
+	c := NewEDCSWindowed(n, 0.25, 10)
+	applyEDCS(c, trace)
+	if a.Metrics() != b.Metrics() {
+		t.Fatal("metrics diverged across identical runs")
+	}
+	_ = c // a different seed may or may not differ; only determinism is pinned
+}
+
+// TestEDCSWindowedCheckpointContinuation is the Maintainer checkpoint
+// contract for the EDCS backend: restore from marshaled bytes, replay the
+// tail, end bit-identical to the survivor.
+func TestEDCSWindowedCheckpointContinuation(t *testing.T) {
+	const n = 70
+	trace := randomTrace(n, 1600, 31)
+	for _, cut := range []int{0, 333, 800, 1599} {
+		mt := NewEDCSWindowed(n, 0.3, 6)
+		applyEDCS(mt, trace[:cut])
+		b, err := mt.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyEDCS(mt, trace[cut:])
+
+		restored, err := RestoreEDCSWindowed(b)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		applyEDCS(restored, trace[cut:])
+		if !slices.Equal(mt.Matching().Mates(), restored.Matching().Mates()) {
+			t.Fatalf("cut %d: restored replay diverged", cut)
+		}
+		if mt.Metrics() != restored.Metrics() {
+			t.Fatalf("cut %d: metrics diverged", cut)
+		}
+	}
+}
+
+// TestEDCSWindowedCheckpointNegativePaths mirrors the Maintainer codec's
+// error-path table for the EDCS checkpoint format.
+func TestEDCSWindowedCheckpointNegativePaths(t *testing.T) {
+	mt := NewEDCSWindowed(40, 0.3, 3)
+	applyEDCS(mt, randomTrace(40, 700, 41))
+	valid, err := mt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every strict prefix errors with a typed error.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := RestoreEDCSWindowed(valid[:cut]); err == nil {
+			t.Fatalf("prefix %d/%d decoded successfully", cut, len(valid))
+		}
+	}
+
+	mutate := func(f func(b []byte)) []byte {
+		b := bytes.Clone(valid)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name        string
+		in          []byte
+		wantVersion bool
+	}{
+		{"bad magic", mutate(func(b []byte) { b[0] = 'Z' }), false},
+		{"version mismatch", mutate(func(b []byte) { b[4] = edcsCheckpointVersion + 3 }), true},
+		{"trailing bytes", append(bytes.Clone(valid), 1, 2, 3), false},
+		{"eps out of range", mutate(func(b []byte) {
+			// eps is the f64 at offset 5; zero it.
+			for i := 5; i < 13; i++ {
+				b[i] = 0
+			}
+		}), false},
+	}
+	for _, tc := range cases {
+		_, err := RestoreEDCSWindowed(tc.in)
+		if err == nil {
+			t.Errorf("%s: accepted corrupt bytes", tc.name)
+			continue
+		}
+		var ve *CheckpointVersionError
+		if got := errors.As(err, &ve); got != tc.wantVersion {
+			t.Errorf("%s: version-error = %v (%v), want %v", tc.name, got, err, tc.wantVersion)
+		}
+	}
+
+	// Round trip of the valid bytes stays canonical.
+	restored, err := RestoreEDCSWindowed(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(valid, again) {
+		t.Fatal("restore→marshal is not byte-identical")
+	}
+}

@@ -16,7 +16,7 @@ import (
 
 // BenchSchema identifies the BENCH_*.json layout; bump on incompatible
 // changes so trajectory tooling can refuse files it does not understand.
-const BenchSchema = "sparsematch/bench/v2"
+const BenchSchema = "sparsematch/bench/v3"
 
 // BenchResult is one measured configuration of a benchmark experiment.
 // NsPerOp/AllocsPerOp/BytesPerOp come from testing.Benchmark, so they are
@@ -44,6 +44,13 @@ type BenchResult struct {
 	// MatchSize is the matching size the measured operation produced
 	// (identical across worker counts — the engine's determinism contract).
 	MatchSize int `json:"match_size,omitempty"`
+	// UpdatesPerSec / P50LatencyNs / P99LatencyNs are the serving-path
+	// metrics (schema v3, "T19-serve" rows): end-to-end served update
+	// throughput and the batch receive→commit latency quantiles from the
+	// server's own counters. Zero on non-serving rows.
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	P50LatencyNs  int64   `json:"p50_latency_ns,omitempty"`
+	P99LatencyNs  int64   `json:"p99_latency_ns,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark gate emitted by
@@ -164,6 +171,10 @@ func MatchingBench(cfg Config) BenchReport {
 		fillSpeedups(rows)
 		rep.Results = append(rep.Results, rows...)
 	}
+
+	// T19-serve: end-to-end served update throughput and latency on the
+	// million-vertex instance, per backend and shard count.
+	rep.Results = append(rep.Results, serveBenchRows(cfg)...)
 	return rep
 }
 

@@ -16,7 +16,10 @@ func TestMatchingBenchQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark gate takes a few seconds")
 	}
-	rep := MatchingBench(Config{Quick: true, Seed: 7})
+	// ServeUpdates bounds the million-vertex T19-serve rows so the gate
+	// test stays tier-1-sized; artifact regeneration uses the full quick
+	// workload.
+	rep := MatchingBench(Config{Quick: true, Seed: 7, ServeUpdates: 20_000})
 	if rep.Schema != BenchSchema {
 		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchema)
 	}
@@ -75,6 +78,30 @@ func TestMatchingBenchQuick(t *testing.T) {
 	}
 	if gr[0].AllocsPerOp != 0 {
 		t.Errorf("greedy-steady: %d allocs/op, want 0", gr[0].AllocsPerOp)
+	}
+
+	// T19-serve rows: one sweep per backend, serving metrics populated, and
+	// the sequenced-apply determinism contract — the matching size must not
+	// vary with the shard count.
+	for _, backend := range []string{"gdelta", "edcs"} {
+		rows := byExp["T19-serve/"+backend]
+		if len(rows) != len(serveBenchShards) {
+			t.Fatalf("T19-serve/%s: %d rows, want %d", backend, len(rows), len(serveBenchShards))
+		}
+		for i, r := range rows {
+			if r.Workers != serveBenchShards[i] {
+				t.Errorf("T19-serve/%s[%d]: shards = %d, want %d", backend, i, r.Workers, serveBenchShards[i])
+			}
+			if r.UpdatesPerSec <= 0 || r.NsPerOp <= 0 {
+				t.Errorf("T19-serve/%s shards=%d: unmeasured row %+v", backend, r.Workers, r)
+			}
+			if r.P99LatencyNs < r.P50LatencyNs || r.P50LatencyNs <= 0 {
+				t.Errorf("T19-serve/%s shards=%d: latency p50=%d p99=%d", backend, r.Workers, r.P50LatencyNs, r.P99LatencyNs)
+			}
+			if r.MatchSize != rows[0].MatchSize {
+				t.Errorf("T19-serve/%s: |M| varies with shards: %d vs %d", backend, r.MatchSize, rows[0].MatchSize)
+			}
+		}
 	}
 
 	// Round-trip: the emitted JSON must decode back to the same report,

@@ -8,6 +8,10 @@ type Config struct {
 	// Seed is the master seed; every experiment derives all randomness
 	// from it deterministically.
 	Seed uint64
+	// ServeUpdates overrides the serving bench gate's workload length
+	// (0 keeps the mode default). The gate test uses it to bound tier-1
+	// runtime; artifact regeneration leaves it 0.
+	ServeUpdates int
 }
 
 // pick returns quick or full depending on the configuration.
@@ -46,6 +50,7 @@ func All() []Experiment {
 		{"T16", "Fault injection: degradation, self-healing, crash recovery", T16},
 		{"T17", "Parallel phase-engine scaling and worker-invariance", T17},
 		{"T18", "Sparsifier backend shootout: G_Δ vs EDCS on (un)bounded β", T18},
+		{"T19", "Served dynamic matching: throughput, latency, replay conformance", T19},
 		{"F1", "Failure-probability concentration vs n (Thm 2.1)", F1},
 		{"F2", "Preserved matching fraction vs Δ (figure series)", F2},
 		{"F3", "Matching lower bound across families (Lemma 2.2)", F3},

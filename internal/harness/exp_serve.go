@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"slices"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+)
+
+// T19 measures the serving path (internal/serve, cmd/matchd): a dynamic
+// matcher behind the sharded wire-protocol pipeline. For each backend and
+// shard count it streams one workload through a loopback server and
+// reports end-to-end throughput, batch commit latency (p50/p99), and —
+// the conformance column — whether the served matching is bit-identical
+// to a direct single-threaded replay. Sequenced apply makes that column
+// "true" by construction at EVERY shard count; the throughput columns
+// show what the pipelining buys on top.
+func T19(cfg Config) []*Table {
+	n := cfg.pick(300, 1200)
+	churn := cfg.pick(1500, 8000)
+	tr, err := cli.MakeTrace("diversity2", n, 10, churn, cfg.Seed+19)
+	if err != nil {
+		panic(err) // family name is a literal; cannot fail
+	}
+	ups := make([]wire.Update, len(tr.Updates))
+	for i, u := range tr.Updates {
+		ups[i] = wire.Update{Insert: u.Insert, U: u.U, V: u.V}
+	}
+
+	tbl := NewTable("T19", "served dynamic matching: throughput, latency, replay conformance",
+		"the sharded server's matching is bit-identical to a direct replay for every backend and shard count; latency stays bounded under batching",
+		"backend", "shards", "updates", "upd/sec", "p50_us", "p99_us", "|M|", "bitident")
+	for _, backendName := range serve.BackendNames() {
+		b, err := serve.BackendByName(backendName)
+		if err != nil {
+			panic(err)
+		}
+		direct, err := b.New(tr.N, 2, 0.3, cfg.Seed+23)
+		if err != nil {
+			panic(err)
+		}
+		for _, u := range tr.Updates {
+			if u.Insert {
+				direct.Insert(u.U, u.V)
+			} else {
+				direct.Delete(u.U, u.V)
+			}
+		}
+		want := direct.Matching().Mates()
+		for _, shards := range []int{1, 2, 8} {
+			m := runServed(serve.Config{
+				N: tr.N, Shards: shards, Beta: 2, Eps: 0.3,
+				Seed: cfg.Seed + 23, Backend: backendName,
+			}, ups, 64)
+			tbl.AddRow(backendName, shards, len(ups), m.updatesPerSec,
+				float64(m.p50Nanos)/1e3, float64(m.p99Nanos)/1e3,
+				m.matchSize, slices.Equal(m.mates, want))
+		}
+	}
+	return []*Table{tbl}
+}
+
+// servedMetrics is one measured pass of a workload through a server.
+type servedMetrics struct {
+	updatesPerSec float64
+	p50Nanos      int64
+	p99Nanos      int64
+	matchSize     int
+	mates         []int32
+}
+
+// runServed boots a server on a loopback listener, streams the updates
+// through the wire protocol, and collects throughput and latency. The
+// server gets the real clock — this is the one place the serving stack is
+// wired to wall time.
+func runServed(cfg serve.Config, ups []wire.Update, batch int) servedMetrics {
+	cfg.NowNanos = func() int64 { return time.Now().UnixNano() }
+	s, err := serve.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer s.Shutdown()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go s.Serve(l)
+	c, err := serve.Dial(l.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if err := c.SendUpdates(ups, batch); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+
+	var m servedMetrics
+	m.updatesPerSec = float64(len(ups)) / elapsed.Seconds()
+	pairs, err := c.Stats()
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		switch p.Name {
+		case "latency_p50_nanos":
+			m.p50Nanos = p.Value
+		case "latency_p99_nanos":
+			m.p99Nanos = p.Value
+		}
+	}
+	m.mates, m.matchSize, err = c.Matching()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// serveChurnTrace generates the million-vertex serving workload for the
+// bench gate: random inserts mixed with deletions of live edges, spread
+// over the full vertex range so every shard sees traffic. Deterministic
+// for a fixed seed.
+func serveChurnTrace(n, updates int, seed uint64) []wire.Update {
+	rng := rand.New(rand.NewPCG(seed, 0x5e2e))
+	ups := make([]wire.Update, 0, updates)
+	live := make([]wire.Update, 0, updates)
+	for len(ups) < updates {
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			i := rng.IntN(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ups = append(ups, wire.Update{Insert: false, U: e.U, V: e.V})
+			continue
+		}
+		u := int32(rng.IntN(n))
+		v := int32(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		e := wire.Update{Insert: true, U: u, V: v}
+		ups = append(ups, e)
+		live = append(live, e)
+	}
+	return ups
+}
+
+// serveBenchShards is the shard sweep of the serving bench gate.
+var serveBenchShards = []int{1, 4}
+
+// serveBenchRows measures the T19-serve rows of the bench gate: end-to-end
+// served update throughput and commit latency on a 2^20-vertex instance
+// (the production-scale point of the roadmap), per backend and shard
+// count. Workers carries the shard count so fillSpeedups relates the
+// sharded rows to the shards=1 baseline.
+func serveBenchRows(cfg Config) []BenchResult {
+	const n = 1 << 20
+	updates := cfg.pick(100_000, 300_000)
+	if cfg.ServeUpdates > 0 {
+		updates = cfg.ServeUpdates
+	}
+	ups := serveChurnTrace(n, updates, cfg.Seed+41)
+	instance := fmt.Sprintf("churn/n=%d/updates=%d/batch=1024", n, len(ups))
+	var all []BenchResult
+	for _, backendName := range serve.BackendNames() {
+		var rows []BenchResult
+		for _, shards := range serveBenchShards {
+			m := runServed(serve.Config{
+				N: n, Shards: shards, Beta: 2, Eps: 0.5,
+				Seed: cfg.Seed + 43, Backend: backendName,
+			}, ups, 1024)
+			rows = append(rows, BenchResult{
+				Experiment: "T19-serve", Instance: instance, Backend: backendName,
+				Workers:       shards,
+				Iterations:    len(ups),
+				NsPerOp:       int64(1e9 / m.updatesPerSec),
+				MatchSize:     m.matchSize,
+				UpdatesPerSec: m.updatesPerSec,
+				P50LatencyNs:  m.p50Nanos,
+				P99LatencyNs:  m.p99Nanos,
+			})
+		}
+		fillSpeedups(rows)
+		all = append(all, rows...)
+	}
+	return all
+}

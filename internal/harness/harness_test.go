@@ -37,8 +37,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -176,6 +176,17 @@ func checkExperiment(t *testing.T, id string, tables []*Table) {
 			}
 			if row[len(row)-1] != "true" {
 				t.Errorf("T17: workers=%v not bit-identical to 1 worker", row[0])
+			}
+		}
+	case "T19":
+		// Replay conformance: every (backend, shards) row must certify
+		// bit-identity to the direct replay and report real throughput.
+		for _, row := range tables[0].Rows {
+			if row[len(row)-1] != "true" {
+				t.Errorf("T19: served matching not bit-identical to replay: %v", row)
+			}
+			if atof(t, row[3]) <= 0 {
+				t.Errorf("T19: no throughput measured: %v", row)
 			}
 		}
 	case "T10g-handled-within-T10":

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/dynmatch"
+	"repro/internal/matching"
+)
+
+// Matcher is the dynamic-matching state machine a server shard-pipeline
+// feeds: the serving counterpart of the PR-6 core.Sparsifier registry. A
+// Matcher must be deterministic (bit-identical state for a fixed update
+// sequence) and checkpointable (MarshalCheckpoint bytes restore through
+// the backend's Restore to a maintainer that replays bit-identically) —
+// the two properties the replay-conformance and crash-restart suites pin.
+type Matcher interface {
+	N() int
+	Insert(u, v int32) bool
+	Delete(u, v int32) bool
+	Matching() *matching.Matching
+	MarshalCheckpoint() ([]byte, error)
+}
+
+// Backend names a dynamic-matching implementation the server can host.
+type Backend struct {
+	// Name is the stable identifier used by the -backend flag, checkpoint
+	// headers, and Welcome frames.
+	Name string
+	// Guarantee states the approximation guarantee in one line.
+	Guarantee string
+	// New creates a fresh matcher over an empty graph on n vertices.
+	New func(n, beta int, eps float64, seed uint64) (Matcher, error)
+	// Restore rebuilds a matcher from MarshalCheckpoint bytes.
+	Restore func(payload []byte) (Matcher, error)
+}
+
+// gdeltaMatcher adapts dynmatch.Maintainer (the Theorem 3.5 G_Δ pipeline,
+// worst-case-budgeted, adaptive-safe) to the serving interface.
+type gdeltaMatcher struct {
+	*dynmatch.Maintainer
+}
+
+func (m gdeltaMatcher) MarshalCheckpoint() ([]byte, error) {
+	return m.Snapshot().MarshalBinary()
+}
+
+// edcsMatcher adapts dynmatch.EDCSWindowed (EDCS windowed recompute,
+// arbitrary graphs, amortized) to the serving interface.
+type edcsMatcher struct {
+	*dynmatch.EDCSWindowed
+}
+
+func (m edcsMatcher) MarshalCheckpoint() ([]byte, error) {
+	return m.MarshalBinary()
+}
+
+// validateParams turns the panic contract of the dynmatch constructors
+// (invariant violations on programmer-supplied options) into errors for
+// the server path, where parameters arrive from flags and checkpoints.
+func validateParams(n, beta int, eps float64) error {
+	if n < 0 {
+		return fmt.Errorf("serve: negative vertex count %d", n)
+	}
+	if beta < 1 {
+		return fmt.Errorf("serve: beta %d, want >= 1", beta)
+	}
+	if !(eps > 0 && eps < 1) {
+		return fmt.Errorf("serve: eps %v outside (0,1)", eps)
+	}
+	return nil
+}
+
+// Backends returns the registered backends in name order.
+func Backends() []Backend {
+	return []Backend{
+		{
+			Name:      "edcs",
+			Guarantee: "3/2+O(λ) on arbitrary graphs (EDCS windowed recompute, amortized)",
+			New: func(n, beta int, eps float64, seed uint64) (Matcher, error) {
+				if err := validateParams(n, beta, eps); err != nil {
+					return nil, err
+				}
+				return edcsMatcher{dynmatch.NewEDCSWindowed(n, eps, seed)}, nil
+			},
+			Restore: func(payload []byte) (Matcher, error) {
+				mt, err := dynmatch.RestoreEDCSWindowed(payload)
+				if err != nil {
+					return nil, err
+				}
+				return edcsMatcher{mt}, nil
+			},
+		},
+		{
+			Name:      "gdelta",
+			Guarantee: "(1+ε) w.h.p. on graphs of neighborhood independence ≤ β (Theorem 3.5, worst-case budgeted)",
+			New: func(n, beta int, eps float64, seed uint64) (Matcher, error) {
+				if err := validateParams(n, beta, eps); err != nil {
+					return nil, err
+				}
+				return gdeltaMatcher{dynmatch.New(n, dynmatch.Options{Beta: beta, Eps: eps}, seed)}, nil
+			},
+			Restore: func(payload []byte) (Matcher, error) {
+				c, err := dynmatch.UnmarshalCheckpoint(payload)
+				if err != nil {
+					return nil, err
+				}
+				mt, err := dynmatch.Restore(c)
+				if err != nil {
+					return nil, err
+				}
+				return gdeltaMatcher{mt}, nil
+			},
+		},
+	}
+}
+
+// BackendNames returns the registered backend names in order.
+func BackendNames() []string {
+	bs := Backends()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// DefaultBackend is the backend an empty -backend flag selects.
+const DefaultBackend = "gdelta"
+
+// BackendByName resolves a backend name; "" means DefaultBackend.
+func BackendByName(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	for _, b := range Backends() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Backend{}, fmt.Errorf("serve: unknown backend %q (have %v)", name, BackendNames())
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/serve/wire"
+)
+
+// A ServerError is a typed ErrorResp surfaced by the client: the server
+// refused a request (invalid update, crash-stop, shutdown).
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("serve: server error %d: %s", e.Code, e.Msg)
+}
+
+// Crashed reports a CodeCrashed refusal — the fault plan crash-stopped
+// the server, and the caller should restart it from a checkpoint.
+func (e *ServerError) Crashed() bool { return e.Code == wire.CodeCrashed }
+
+// Client speaks the matchd wire protocol over one connection. It is not
+// safe for concurrent use; requests are strictly pipelined in order.
+type Client struct {
+	conn    io.ReadWriteCloser
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	welcome wire.Welcome
+	applied uint64 // highest apply progress the server has reported
+}
+
+// Dial connects to a matchd server address and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	return NewClient(conn)
+}
+
+// NewClient performs the Hello/Welcome handshake over an established
+// connection (a socket or an in-process pipe end).
+func NewClient(conn io.ReadWriteCloser) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+	m, err := c.roundTrip(wire.Hello{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	w, ok := m.(wire.Welcome)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake reply %T, want Welcome", m)
+	}
+	c.welcome = w
+	c.applied = w.Applied
+	return c, nil
+}
+
+// Welcome returns the server's handshake parameters.
+func (c *Client) Welcome() wire.Welcome { return c.welcome }
+
+// Applied returns the highest applied sequence the server has reported.
+func (c *Client) Applied() uint64 { return c.applied }
+
+// Close closes the connection without shutting the server down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(m wire.Msg) error {
+	if err := wire.WriteFrame(c.bw, m); err != nil {
+		return fmt.Errorf("serve: send: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) recv() (wire.Msg, error) {
+	m, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: recv: %w", err)
+	}
+	if e, ok := m.(wire.ErrorResp); ok {
+		return nil, &ServerError{Code: e.Code, Msg: e.Msg}
+	}
+	return m, nil
+}
+
+func (c *Client) roundTrip(m wire.Msg) (wire.Msg, error) {
+	if err := c.send(m); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("serve: flush: %w", err)
+	}
+	return c.recv()
+}
+
+// Flush is a commit barrier: the server answers only after every batch it
+// accepted before the flush has been applied (or discarded as a duplicate
+// or fault casualty), so the returned sequence is the committed prefix at
+// the barrier, never a stale read.
+func (c *Client) Flush() (uint64, error) {
+	m, err := c.roundTrip(wire.FlushReq{})
+	if err != nil {
+		return 0, err
+	}
+	f, ok := m.(wire.FlushResp)
+	if !ok {
+		return 0, fmt.Errorf("serve: flush reply %T, want FlushResp", m)
+	}
+	if f.Applied > c.applied {
+		c.applied = f.Applied
+	}
+	return f.Applied, nil
+}
+
+// sendWindow is how many batch frames SendUpdates keeps in flight before
+// draining acknowledgements.
+const sendWindow = 64
+
+// maxSendPasses bounds retransmission rounds. Under an independent drop
+// rate p < 1 the expected number of passes is O(log(total)/log(1/p)); a
+// plan hostile enough to exhaust 64 passes is reported as an error rather
+// than looping forever.
+const maxSendPasses = 64
+
+// SendUpdates streams the update sequence to the server in batches of
+// batchSize, pipelined sendWindow batches deep, and retransmits until the
+// server has committed everything. Batch sequence numbers are assigned
+// from position — sequence k carries updates [(k-1)·batchSize, …) — so a
+// replay after reconnecting to a restored server sends exactly the suffix
+// the checkpoint had not yet absorbed.
+func (c *Client) SendUpdates(ups []wire.Update, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	total := uint64((len(ups) + batchSize - 1) / batchSize)
+	batch := func(seq uint64) wire.Batch {
+		lo := (seq - 1) * uint64(batchSize)
+		hi := lo + uint64(batchSize)
+		if hi > uint64(len(ups)) {
+			hi = uint64(len(ups))
+		}
+		return wire.Batch{Seq: seq, Updates: ups[lo:hi]}
+	}
+	for pass := 0; ; pass++ {
+		if _, err := c.Flush(); err != nil {
+			return err
+		}
+		if c.applied >= total {
+			return nil
+		}
+		if pass >= maxSendPasses {
+			return fmt.Errorf("serve: %d/%d batches committed after %d passes", c.applied, total, pass)
+		}
+		outstanding := 0
+		drain := func() error {
+			for ; outstanding > 0; outstanding-- {
+				m, err := c.recv()
+				if err != nil {
+					return err
+				}
+				a, ok := m.(wire.Ack)
+				if !ok {
+					return fmt.Errorf("serve: batch reply %T, want Ack", m)
+				}
+				if a.Applied > c.applied {
+					c.applied = a.Applied
+				}
+			}
+			return nil
+		}
+		for seq := c.applied + 1; seq <= total; seq++ {
+			if err := c.send(batch(seq)); err != nil {
+				return err
+			}
+			outstanding++
+			if outstanding == sendWindow {
+				if err := c.bw.Flush(); err != nil {
+					return fmt.Errorf("serve: flush: %w", err)
+				}
+				if err := drain(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := c.bw.Flush(); err != nil {
+			return fmt.Errorf("serve: flush: %w", err)
+		}
+		if err := drain(); err != nil {
+			return err
+		}
+	}
+}
+
+// Matching fetches the server's current matching.
+func (c *Client) Matching() ([]int32, int, error) {
+	m, err := c.roundTrip(wire.MatchReq{})
+	if err != nil {
+		return nil, 0, err
+	}
+	r, ok := m.(wire.MatchResp)
+	if !ok {
+		return nil, 0, fmt.Errorf("serve: match reply %T, want MatchResp", m)
+	}
+	return r.Mates, int(r.Size), nil
+}
+
+// Stats fetches the server's operational counters.
+func (c *Client) Stats() ([]wire.StatPair, error) {
+	m, err := c.roundTrip(wire.StatsReq{})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := m.(wire.StatsResp)
+	if !ok {
+		return nil, fmt.Errorf("serve: stats reply %T, want StatsResp", m)
+	}
+	return r.Pairs, nil
+}
+
+// Checkpoint asks the server to checkpoint now; it returns the committed
+// sequence the checkpoint captured and the bytes written to disk.
+func (c *Client) Checkpoint() (uint64, int, error) {
+	m, err := c.roundTrip(wire.CheckpointReq{})
+	if err != nil {
+		return 0, 0, err
+	}
+	r, ok := m.(wire.CheckpointResp)
+	if !ok {
+		return 0, 0, fmt.Errorf("serve: checkpoint reply %T, want CheckpointResp", m)
+	}
+	return r.Seq, int(r.Bytes), nil
+}
+
+// Quit asks the server to drain and shut down, then closes the
+// connection. It returns the server's final committed sequence.
+func (c *Client) Quit() (uint64, error) {
+	m, err := c.roundTrip(wire.Quit{})
+	if err != nil {
+		c.conn.Close()
+		return 0, err
+	}
+	f, ok := m.(wire.FlushResp)
+	if !ok {
+		c.conn.Close()
+		return 0, fmt.Errorf("serve: quit reply %T, want FlushResp", m)
+	}
+	c.conn.Close()
+	return f.Applied, nil
+}

@@ -1,0 +1,164 @@
+package serve_test
+
+import (
+	"fmt"
+	"net"
+	"slices"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/dynmatch"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+)
+
+// testParams are the matcher parameters every conformance run shares; the
+// server and the direct replay must agree on all of them for bit-identity
+// to be meaningful.
+const (
+	testBeta = 2
+	testEps  = 0.3
+	testSeed = 7
+)
+
+// startServer launches a server on a loopback listener and returns it with
+// its address. Loopback sockets (not net.Pipe) so that pipelined
+// request/response traffic has kernel buffering, exactly as in production.
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, string) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, listen(t, s)
+}
+
+func listen(t *testing.T, s *serve.Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(s.Shutdown)
+	return l.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *serve.Client {
+	t.Helper()
+	c, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// testTrace generates the shared conformance workload: a bounded-diversity
+// load plus churn, the same generator every other tool uses.
+func testTrace(t *testing.T, n int, avgDeg float64, churn int, seed uint64) ([]dynmatch.Update, []wire.Update) {
+	t.Helper()
+	tr, err := cli.MakeTrace("diversity2", n, avgDeg, churn, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := make([]wire.Update, len(tr.Updates))
+	for i, u := range tr.Updates {
+		ups[i] = wire.Update{Insert: u.Insert, U: u.U, V: u.V}
+	}
+	return tr.Updates, ups
+}
+
+// directReplay applies the updates to a freshly built backend matcher with
+// the same parameters the server uses — the single-threaded ground truth.
+func directReplay(t *testing.T, backend string, n int, updates []dynmatch.Update) serve.Matcher {
+	t.Helper()
+	b, err := serve.BackendByName(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.New(n, testBeta, testEps, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range updates {
+		if u.Insert {
+			m.Insert(u.U, u.V)
+		} else {
+			m.Delete(u.U, u.V)
+		}
+	}
+	return m
+}
+
+// TestReplayConformance is the tentpole contract: for every backend and
+// every shard count, a server driven through the wire protocol ends with a
+// matching BIT-IDENTICAL to a direct single-threaded replay of the same
+// update sequence. Sharding, batching, pipelining, and the reorder buffer
+// must all be invisible in the final state.
+func TestReplayConformance(t *testing.T) {
+	const n = 240
+	updates, ups := testTrace(t, n, 12, 1500, 11)
+	for _, backend := range serve.BackendNames() {
+		want := directReplay(t, backend, n, updates)
+		wantMates := want.Matching().Mates()
+		for _, shards := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(t *testing.T) {
+				_, addr := startServer(t, serve.Config{
+					N: n, Shards: shards, Beta: testBeta, Eps: testEps,
+					Seed: testSeed, Backend: backend,
+				})
+				c := dial(t, addr)
+				if got := c.Welcome(); got.Backend != backend || int(got.N) != n || int(got.Shards) != shards {
+					t.Fatalf("welcome = %+v", got)
+				}
+				// An awkward batch size, so batch boundaries never align
+				// with shard or window boundaries.
+				if err := c.SendUpdates(ups, 37); err != nil {
+					t.Fatal(err)
+				}
+				mates, size, err := c.Matching()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if size != want.Matching().Size() {
+					t.Fatalf("served matching size %d, direct replay %d", size, want.Matching().Size())
+				}
+				if !slices.Equal(mates, wantMates) {
+					t.Fatalf("served matching is not bit-identical to the direct replay")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceAcrossShardCounts pins shard-count invariance directly:
+// every shard count yields byte-equal checkpoints, not merely equal
+// matchings.
+func TestConformanceAcrossShardCounts(t *testing.T) {
+	const n = 160
+	_, ups := testTrace(t, n, 10, 800, 29)
+	var ref []byte
+	for _, shards := range []int{1, 2, 8} {
+		s, addr := startServer(t, serve.Config{
+			N: n, Shards: shards, Beta: testBeta, Eps: testEps, Seed: testSeed,
+		})
+		c := dial(t, addr)
+		if err := c.SendUpdates(ups, 64); err != nil {
+			t.Fatal(err)
+		}
+		ckpt, _, err := s.CheckpointNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ckpt.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+		} else if !slices.Equal(ref, b) {
+			t.Fatalf("shards=%d: checkpoint bytes differ from shards=1", shards)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/serve/wire"
+)
+
+// Serve accepts connections on l until the listener is closed (by
+// Shutdown or externally). It returns nil on a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.stopping.Load() {
+		s.connMu.Unlock()
+		l.Close()
+		return errors.New("serve: server is shut down")
+	}
+	s.listeners = append(s.listeners, l)
+	s.connMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.stopping.Load() {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the wire protocol on one connection until the peer
+// disconnects, sends Quit, or the server shuts down. It may be called
+// directly with an in-process pipe end — that is how the conformance
+// tests drive a server without sockets.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.connMu.Lock()
+	if s.stopping.Load() {
+		s.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.connWG.Add(1)
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		s.connWG.Done()
+		conn.Close()
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	reply := func(m wire.Msg) bool {
+		return wire.WriteFrame(bw, m) == nil
+	}
+	for {
+		m, err := wire.ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !s.stopping.Load() {
+				// Protocol damage: report once, then drop the conn — after
+				// a framing error the stream cannot be resynchronized.
+				wire.WriteFrame(bw, wire.ErrorResp{Code: wire.CodeInvalidUpdate, Msg: err.Error()})
+				bw.Flush()
+			}
+			return
+		}
+		ok := true
+		switch m := m.(type) {
+		case wire.Hello:
+			ok = reply(wire.Welcome{
+				Applied: s.Applied(),
+				N:       uint32(s.cfg.N),
+				Shards:  uint32(s.cfg.Shards),
+				Backend: s.backend.Name,
+			})
+		case wire.Batch:
+			ok = reply(s.handleBatch(m))
+		case wire.FlushReq:
+			if s.crashed.Load() {
+				ok = reply(wire.ErrorResp{Code: wire.CodeCrashed, Msg: "server crash-stopped by fault plan"})
+				break
+			}
+			// Flush is a barrier, not a read: the marker rides the pipeline
+			// behind every batch submitted before it, so the reply proves
+			// the committed prefix. (The subCh send is safe while this
+			// connection is registered — Shutdown closes subCh only after
+			// connWG drains.)
+			barrier := make(chan uint64, 1)
+			s.subCh <- submission{flush: barrier}
+			ok = reply(wire.FlushResp{Applied: <-barrier})
+		case wire.StatsReq:
+			ok = reply(wire.StatsResp{Pairs: s.StatsPairs()})
+		case wire.MatchReq:
+			mates, size := s.MatchingSnapshot()
+			ok = reply(wire.MatchResp{Size: int32(size), Mates: mates})
+		case wire.CheckpointReq:
+			c, nbytes, err := s.CheckpointNow()
+			if err != nil {
+				ok = reply(wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+			} else {
+				ok = reply(wire.CheckpointResp{Seq: c.Applied, Bytes: uint32(nbytes)})
+			}
+		case wire.Quit:
+			reply(wire.FlushResp{Applied: s.Applied()})
+			bw.Flush()
+			go s.Shutdown()
+			return
+		default:
+			ok = reply(wire.ErrorResp{Code: wire.CodeInternal, Msg: fmt.Sprintf("unexpected frame %T", m)})
+		}
+		if !ok || bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// handleBatch admission-checks one batch and submits it to the pipeline.
+// The Ack acknowledges receipt and reports committed progress; it does
+// not promise the batch itself has been applied yet.
+func (s *Server) handleBatch(b wire.Batch) wire.Msg {
+	if s.crashed.Load() {
+		return wire.ErrorResp{Code: wire.CodeCrashed, Msg: "server crash-stopped by fault plan"}
+	}
+	if s.stopping.Load() {
+		return wire.ErrorResp{Code: wire.CodeShuttingDown, Msg: "server is shutting down"}
+	}
+	if b.Seq == 0 {
+		s.stats.batchesInvalid.Add(1)
+		return wire.ErrorResp{Code: wire.CodeInvalidUpdate, Msg: "batch sequence numbers start at 1"}
+	}
+	for i, up := range b.Updates {
+		if err := s.validateUpdate(up); err != nil {
+			s.stats.batchesInvalid.Add(1)
+			return wire.ErrorResp{Code: wire.CodeInvalidUpdate, Msg: fmt.Sprintf("update %d: %v", i, err)}
+		}
+	}
+	s.stats.batchesReceived.Add(1)
+	s.subCh <- submission{batch: b, enq: s.clock()}
+	return wire.Ack{Seq: b.Seq, Applied: s.Applied()}
+}

@@ -1,0 +1,188 @@
+package serve_test
+
+import (
+	"errors"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+)
+
+// TestServerRejectsInvalidUpdates pins the synchronous admission check:
+// out-of-range endpoints and self-loops come back as typed ServerErrors
+// and never reach the matcher.
+func TestServerRejectsInvalidUpdates(t *testing.T) {
+	s, addr := startServer(t, serve.Config{N: 10, Shards: 2})
+	bad := [][]wire.Update{
+		{{Insert: true, U: 3, V: 3}},   // self-loop
+		{{Insert: true, U: -1, V: 2}},  // negative endpoint
+		{{Insert: true, U: 2, V: 10}},  // endpoint == N
+		{{Insert: true, U: 2, V: 999}}, // far out of range
+	}
+	for _, ups := range bad {
+		c := dial(t, addr)
+		err := c.SendUpdates(ups, 8)
+		var se *serve.ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("updates %+v: err = %v, want *ServerError", ups, err)
+		}
+		if se.Code != wire.CodeInvalidUpdate {
+			t.Fatalf("updates %+v: code %d, want CodeInvalidUpdate", ups, se.Code)
+		}
+	}
+	if got := s.Applied(); got != 0 {
+		t.Fatalf("applied %d after only invalid batches", got)
+	}
+}
+
+// TestServerStats checks the counter block: pairs arrive sorted (a wire
+// invariant), core counters reconcile with the workload, and the text
+// dump renders every pair.
+func TestServerStats(t *testing.T) {
+	const n = 60
+	_, ups := testTrace(t, n, 6, 200, 3)
+	_, addr := startServer(t, serve.Config{N: n, Shards: 3, Beta: testBeta, Eps: testEps})
+	c := dial(t, addr)
+	if err := c.SendUpdates(ups, 16); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name }) {
+		t.Fatal("stat pairs are not sorted by name")
+	}
+	byName := map[string]int64{}
+	for _, p := range pairs {
+		byName[p.Name] = p.Value
+	}
+	total := int64((len(ups) + 15) / 16)
+	if got := byName["applied_seq"]; got != total {
+		t.Fatalf("applied_seq %d, want %d", got, total)
+	}
+	if got := byName["updates_applied"]; got != int64(len(ups)) {
+		t.Fatalf("updates_applied %d, want %d", got, len(ups))
+	}
+	if byName["matching_size"] <= 0 {
+		t.Fatal("matching_size not positive after a dense load")
+	}
+	if byName["latency_p99_nanos"] < byName["latency_p50_nanos"] {
+		t.Fatal("p99 latency below p50")
+	}
+	if _, ok := byName["shard002_queue_highwater"]; !ok {
+		t.Fatal("missing per-shard queue high-water entries")
+	}
+	dump := serve.DumpStats(pairs)
+	if got := strings.Count(dump, "\n"); got != len(pairs) {
+		t.Fatalf("dump has %d lines, want %d", got, len(pairs))
+	}
+}
+
+// TestCheckpointOverWire drives the CHECKPOINT command end to end: the
+// wire request writes a durable file, and a server restored from that
+// file continues the stream bit-identically to the uninterrupted server.
+func TestCheckpointOverWire(t *testing.T) {
+	const n = 120
+	_, ups := testTrace(t, n, 8, 600, 19)
+	ckptPath := filepath.Join(t.TempDir(), "wire.ckpt")
+	_, addr := startServer(t, serve.Config{
+		N: n, Shards: 2, Beta: testBeta, Eps: testEps, Seed: testSeed,
+		CheckpointPath: ckptPath,
+	})
+	c := dial(t, addr)
+	cut := len(ups) / 2
+	cut -= cut % 32 // align to the batch size so the suffix replays cleanly
+	if err := c.SendUpdates(ups[:cut], 32); err != nil {
+		t.Fatal(err)
+	}
+	seq, nbytes, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(cut/32) || nbytes == 0 {
+		t.Fatalf("checkpoint seq=%d bytes=%d, want seq=%d and bytes>0", seq, nbytes, cut/32)
+	}
+	if err := c.SendUpdates(ups, 32); err != nil { // finish the stream
+		t.Fatal(err)
+	}
+	wantMates, _, err := c.Matching()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := serve.ReadCheckpointFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := serve.NewFromCheckpoint(serve.Config{Shards: 8}, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2 := listen(t, restored)
+	c2 := dial(t, addr2)
+	if err := c2.SendUpdates(ups, 32); err != nil {
+		t.Fatal(err)
+	}
+	mates, _, err := c2.Matching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(mates, wantMates) {
+		t.Fatal("restored continuation diverged from the uninterrupted server")
+	}
+}
+
+// TestQuitDrains checks the QUIT command: the reply carries the final
+// committed sequence and the server refuses new work afterwards.
+func TestQuitDrains(t *testing.T) {
+	const n = 40
+	_, ups := testTrace(t, n, 6, 100, 5)
+	s, addr := startServer(t, serve.Config{N: n, Shards: 2, Beta: testBeta, Eps: testEps})
+	c := dial(t, addr)
+	if err := c.SendUpdates(ups, 16); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Quit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64((len(ups) + 15) / 16); final != want {
+		t.Fatalf("quit reported seq %d, want %d", final, want)
+	}
+	s.Shutdown() // must already be stopped; idempotent
+	if _, err := serve.Dial(addr); err == nil {
+		t.Fatal("dial succeeded after quit")
+	}
+}
+
+// TestBackendRegistry sanity-checks the registry surface.
+func TestBackendRegistry(t *testing.T) {
+	names := serve.BackendNames()
+	if !slices.Contains(names, "gdelta") || !slices.Contains(names, "edcs") {
+		t.Fatalf("backends = %v", names)
+	}
+	if !slices.IsSorted(names) {
+		t.Fatalf("backends %v not sorted", names)
+	}
+	if _, err := serve.BackendByName("nope"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	b, err := serve.BackendByName("")
+	if err != nil || b.Name != serve.DefaultBackend {
+		t.Fatalf("default backend = %v, %v", b.Name, err)
+	}
+	if _, err := b.New(10, 0, 0.3, 1); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+	if _, err := b.New(10, 2, 1.5, 1); err == nil {
+		t.Fatal("eps=1.5 accepted")
+	}
+	if _, err := serve.New(serve.Config{N: 10, Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}

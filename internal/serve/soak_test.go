@@ -1,0 +1,63 @@
+package serve_test
+
+import (
+	"os"
+	"slices"
+	"strconv"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+// TestMatchdSoak is the CI soak entry point for the serving stack: a
+// wire-driven client streams a churn trace into a sharded server under a
+// seeded fault plan (the CI job runs it race-enabled), retransmitting
+// through drops, duplicates, and delays until everything commits. At every
+// drop rate the final matching must be bit-identical to a fault-free
+// direct replay — the faults shake delivery, never state. The CI matrix
+// sets MATCHD_SOAK_DROP to soak one rate per job; unset (a plain
+// `go test`) covers both rates, reduced to one plan seed under -short.
+func TestMatchdSoak(t *testing.T) {
+	rates := []float64{0, 0.2}
+	planSeeds := []uint64{31, 47}
+	if env := os.Getenv("MATCHD_SOAK_DROP"); env != "" {
+		r, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("MATCHD_SOAK_DROP=%q: %v", env, err)
+		}
+		rates = []float64{r}
+	} else if testing.Short() {
+		planSeeds = planSeeds[:1]
+	}
+	const n = 300
+	updates, ups := testTrace(t, n, 8, 3000, 11)
+	want := directReplay(t, serve.DefaultBackend, n, updates).Matching().Mates()
+	for _, rate := range rates {
+		for _, planSeed := range planSeeds {
+			var plan *faults.Plan
+			if rate > 0 {
+				plan = &faults.Plan{
+					Seed: planSeed, DropRate: rate,
+					DupRate: rate / 2, DelayRate: rate / 2, MaxDelay: 7,
+				}
+			}
+			srv, addr := startServer(t, serve.Config{
+				N: n, Shards: 4, Beta: testBeta, Eps: testEps, Seed: testSeed,
+				QueueDepth: 8, Plan: plan,
+			})
+			c := dial(t, addr)
+			if err := c.SendUpdates(ups, 33); err != nil {
+				t.Fatalf("drop=%g seed=%d: %v", rate, planSeed, err)
+			}
+			mates, _, err := c.Matching()
+			if err != nil {
+				t.Fatalf("drop=%g seed=%d: matching: %v", rate, planSeed, err)
+			}
+			if !slices.Equal(mates, want) {
+				t.Errorf("drop=%g seed=%d: served matching diverged from fault-free replay", rate, planSeed)
+			}
+			srv.Shutdown()
+		}
+	}
+}

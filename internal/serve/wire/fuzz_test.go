@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireRoundTrip pins the codec's safety and canonicality contracts on
+// arbitrary input:
+//
+//  1. DecodeFrame never panics and never reports success on input it did
+//     not fully validate;
+//  2. every decode error is one of the typed errors of the package;
+//  3. if a frame decodes, re-encoding it reproduces exactly the consumed
+//     prefix (canonical encoding), and decoding the re-encoding yields a
+//     deeply equal message (round trip);
+//  4. ReadFrame agrees with DecodeFrame on the same bytes.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range []Msg{
+		Hello{},
+		Welcome{Applied: 3, N: 100, Shards: 4, Backend: "edcs"},
+		Batch{Seq: 9, Updates: []Update{{Insert: true, U: 5, V: 6}, {Insert: false, U: 1, V: 2}}},
+		Ack{Seq: 2, Applied: 2},
+		StatsResp{Pairs: []StatPair{{Name: "updates_applied", Value: 12}}},
+		MatchResp{Size: 1, Mates: []int32{1, 0, -1, -1}},
+		CheckpointResp{Seq: 4, Bytes: 128},
+		FlushResp{Applied: 6},
+		ErrorResp{Code: CodeCrashed, Msg: "crashed by fault plan"},
+		Quit{},
+	} {
+		f.Add(EncodeFrame(m))
+	}
+	// Malformed seeds: truncations, bad magic, bad version, garbage.
+	f.Add([]byte{})
+	f.Add([]byte{'S'})
+	f.Add([]byte{'S', 'M', Version, TypeBatch, 0, 0, 0, 1})
+	f.Add([]byte{'X', 'Y', Version, TypeHello, 0, 0, 0, 0})
+	f.Add([]byte{'S', 'M', 99, TypeHello, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, rest, err := DecodeFrame(data)
+		if err != nil {
+			var fe *FormatError
+			var ve *VersionError
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrFrameTooBig) &&
+				!errors.As(err, &fe) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		enc := EncodeFrame(m)
+		if !bytes.Equal(enc, consumed) {
+			t.Fatalf("non-canonical accept: consumed %x, canonical %x", consumed, enc)
+		}
+		m2, rest2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-decode left %d bytes", len(rest2))
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverged:\n first %+v\nsecond %+v", m, m2)
+		}
+		// ReadFrame must accept the same frame from a stream.
+		m3, err := ReadFrame(bytes.NewReader(consumed))
+		if err != nil {
+			t.Fatalf("ReadFrame on decodable bytes: %v", err)
+		}
+		if !reflect.DeepEqual(m, m3) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame")
+		}
+	})
+}

@@ -1,0 +1,537 @@
+// Package wire is the length-prefixed binary protocol of the matchd
+// daemon (cmd/matchd, internal/serve). Frames carry edge-update batches,
+// cumulative acks, operational stats, checkpoint control, and matching
+// snapshots between a client and a server.
+//
+// Framing: every message is
+//
+//	magic   2 bytes  'S' 'M'
+//	version 1 byte   (currently 1)
+//	type    1 byte
+//	length  4 bytes  big-endian payload length
+//	payload length bytes
+//
+// The encoding is canonical and deterministic: fixed-width big-endian
+// integers, length-prefixed strings, no maps, no padding. For every valid
+// message x, Decode(Encode(x)) == x, and for every byte string b accepted
+// by Decode, Encode(Decode(b)) is exactly the consumed prefix of b — both
+// properties are pinned by FuzzWireRoundTrip. Malformed input yields a
+// typed error (*FormatError, *VersionError, ErrBadMagic, ErrFrameTooBig),
+// never a panic and never an allocation proportional to a length field
+// that the payload cannot back.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	Version = 1 // bumped on incompatible frame layout changes
+
+	magic0 = 'S'
+	magic1 = 'M'
+
+	headerLen = 8
+
+	// MaxPayload bounds a frame's payload; ReadFrame refuses larger
+	// length prefixes before allocating.
+	MaxPayload = 1 << 26
+
+	// MaxBatchUpdates bounds the updates in one Batch frame.
+	MaxBatchUpdates = 1 << 20
+
+	// maxString bounds length-prefixed strings (16-bit length).
+	maxString = 1<<16 - 1
+)
+
+// Frame types.
+const (
+	TypeHello byte = iota + 1
+	TypeWelcome
+	TypeBatch
+	TypeAck
+	TypeStatsReq
+	TypeStatsResp
+	TypeMatchReq
+	TypeMatchResp
+	TypeCheckpointReq
+	TypeCheckpointResp
+	TypeFlushReq
+	TypeFlushResp
+	TypeError
+	TypeQuit
+
+	typeMax = TypeQuit
+)
+
+// Error codes carried by Error frames.
+const (
+	CodeInvalidUpdate uint16 = iota + 1
+	CodeCrashed
+	CodeShuttingDown
+	CodeInternal
+)
+
+// ErrBadMagic reports a frame that does not start with the protocol magic.
+var ErrBadMagic = errors.New("wire: bad frame magic")
+
+// ErrFrameTooBig reports a length prefix exceeding MaxPayload.
+var ErrFrameTooBig = errors.New("wire: frame exceeds MaxPayload")
+
+// A VersionError reports a frame encoded with an unsupported protocol
+// version.
+type VersionError struct {
+	Got byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version %d, want %d", e.Got, Version)
+}
+
+// A FormatError reports a structurally malformed frame payload: a
+// truncated field, an out-of-range value, or trailing garbage.
+type FormatError struct {
+	Type  byte   // frame type, 0 if the header itself is malformed
+	Field string // the field being decoded when the error was found
+	Why   string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("wire: frame type %d: field %s: %s", e.Type, e.Field, e.Why)
+}
+
+// Msg is one protocol message. Concrete types: Hello, Welcome, Batch, Ack,
+// StatsReq, StatsResp, MatchReq, MatchResp, CheckpointReq, CheckpointResp,
+// FlushReq, FlushResp, ErrorResp, Quit.
+type Msg interface {
+	frameType() byte
+}
+
+// Hello opens a session; the server answers with Welcome.
+type Hello struct{}
+
+// Welcome announces the server's identity and resume point: Applied is the
+// last batch sequence number whose updates are reflected in the matching,
+// so a resuming client starts sending at Applied+1.
+type Welcome struct {
+	Applied uint64
+	N       uint32
+	Shards  uint32
+	Backend string
+}
+
+// Update is one edge insertion or deletion.
+type Update struct {
+	Insert bool
+	U, V   int32
+}
+
+// Batch is a sequenced group of updates. Sequence numbers start at 1 and
+// increase by 1 per batch; the server applies batches in sequence order
+// exactly once, so retransmitted or duplicated batches are harmless.
+type Batch struct {
+	Seq     uint64
+	Updates []Update
+}
+
+// Ack confirms receipt of the batch with the given Seq and reports the
+// cumulative Applied sequence number (all batches ≤ Applied are applied).
+type Ack struct {
+	Seq     uint64
+	Applied uint64
+}
+
+// StatsReq asks for the server's operational counters.
+type StatsReq struct{}
+
+// StatPair is one named counter; StatsResp carries them sorted strictly
+// ascending by name (the canonical order, enforced by Decode).
+type StatPair struct {
+	Name  string
+	Value int64
+}
+
+// StatsResp returns the operational counters.
+type StatsResp struct {
+	Pairs []StatPair
+}
+
+// MatchReq asks for a snapshot of the maintained matching.
+type MatchReq struct{}
+
+// MatchResp is a matching snapshot: Mates[v] is v's partner or -1.
+type MatchResp struct {
+	Size  int32
+	Mates []int32
+}
+
+// CheckpointReq forces a checkpoint now.
+type CheckpointReq struct{}
+
+// CheckpointResp reports the applied sequence number the checkpoint
+// captured and the serialized checkpoint size in bytes.
+type CheckpointResp struct {
+	Seq   uint64
+	Bytes uint32
+}
+
+// FlushReq is a commit barrier: the server answers only after every batch
+// it accepted before this request has been applied or discarded (as a
+// duplicate or a fault casualty). The reply therefore reports the
+// committed prefix at the barrier — pipelined senders use it to pace
+// retransmission to the applier instead of busy-polling.
+type FlushReq struct{}
+
+// FlushResp carries the cumulative applied sequence number.
+type FlushResp struct {
+	Applied uint64
+}
+
+// ErrorResp reports a request the server refused.
+type ErrorResp struct {
+	Code uint16
+	Msg  string
+}
+
+// Quit asks the server to shut down gracefully after answering with a
+// FlushResp.
+type Quit struct{}
+
+func (Hello) frameType() byte          { return TypeHello }
+func (Welcome) frameType() byte        { return TypeWelcome }
+func (Batch) frameType() byte          { return TypeBatch }
+func (Ack) frameType() byte            { return TypeAck }
+func (StatsReq) frameType() byte       { return TypeStatsReq }
+func (StatsResp) frameType() byte      { return TypeStatsResp }
+func (MatchReq) frameType() byte       { return TypeMatchReq }
+func (MatchResp) frameType() byte      { return TypeMatchResp }
+func (CheckpointReq) frameType() byte  { return TypeCheckpointReq }
+func (CheckpointResp) frameType() byte { return TypeCheckpointResp }
+func (FlushReq) frameType() byte       { return TypeFlushReq }
+func (FlushResp) frameType() byte      { return TypeFlushResp }
+func (ErrorResp) frameType() byte      { return TypeError }
+func (Quit) frameType() byte           { return TypeQuit }
+
+// appendString appends a 16-bit length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	if len(s) > maxString {
+		s = s[:maxString]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// AppendFrame appends the canonical encoding of m to dst.
+func AppendFrame(dst []byte, m Msg) []byte {
+	dst = append(dst, magic0, magic1, Version, m.frameType())
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	switch m := m.(type) {
+	case Hello, StatsReq, MatchReq, CheckpointReq, FlushReq, Quit:
+		// empty payload
+	case Welcome:
+		dst = binary.BigEndian.AppendUint64(dst, m.Applied)
+		dst = binary.BigEndian.AppendUint32(dst, m.N)
+		dst = binary.BigEndian.AppendUint32(dst, m.Shards)
+		dst = appendString(dst, m.Backend)
+	case Batch:
+		dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Updates)))
+		for _, u := range m.Updates {
+			op := byte(0)
+			if u.Insert {
+				op = 1
+			}
+			dst = append(dst, op)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(u.U))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(u.V))
+		}
+	case Ack:
+		dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, m.Applied)
+	case StatsResp:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Pairs)))
+		for _, p := range m.Pairs {
+			dst = appendString(dst, p.Name)
+			dst = binary.BigEndian.AppendUint64(dst, uint64(p.Value))
+		}
+	case MatchResp:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Size))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Mates)))
+		for _, w := range m.Mates {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(w))
+		}
+	case CheckpointResp:
+		dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+		dst = binary.BigEndian.AppendUint32(dst, m.Bytes)
+	case FlushResp:
+		dst = binary.BigEndian.AppendUint64(dst, m.Applied)
+	case ErrorResp:
+		dst = binary.BigEndian.AppendUint16(dst, m.Code)
+		dst = appendString(dst, m.Msg)
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// EncodeFrame returns the canonical encoding of m.
+func EncodeFrame(m Msg) []byte { return AppendFrame(nil, m) }
+
+// reader decodes payload fields with truncation checks.
+type reader struct {
+	typ byte
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(field, why string) {
+	if r.err == nil {
+		r.err = &FormatError{Type: r.typ, Field: field, Why: why}
+	}
+}
+
+func (r *reader) take(field string, n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail(field, fmt.Sprintf("truncated: need %d bytes, have %d", n, len(r.b)))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u16(field string) uint16 {
+	b := r.take(field, 2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32(field string) uint32 {
+	b := r.take(field, 4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64(field string) uint64 {
+	b := r.take(field, 8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) str(field string) string {
+	n := int(r.u16(field))
+	b := r.take(field, n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// decodePayload decodes one payload of the given type. The payload must be
+// consumed exactly.
+func decodePayload(typ byte, payload []byte) (Msg, error) {
+	r := &reader{typ: typ, b: payload}
+	var m Msg
+	switch typ {
+	case TypeHello:
+		m = Hello{}
+	case TypeWelcome:
+		m = Welcome{
+			Applied: r.u64("applied"),
+			N:       r.u32("n"),
+			Shards:  r.u32("shards"),
+			Backend: r.str("backend"),
+		}
+	case TypeBatch:
+		b := Batch{Seq: r.u64("seq")}
+		count := r.u32("count")
+		if count > MaxBatchUpdates {
+			r.fail("count", fmt.Sprintf("%d updates exceeds MaxBatchUpdates %d", count, MaxBatchUpdates))
+		}
+		if r.err == nil && len(r.b) != int(count)*9 {
+			r.fail("updates", fmt.Sprintf("count %d wants %d payload bytes, have %d", count, count*9, len(r.b)))
+		}
+		if r.err == nil && count > 0 {
+			b.Updates = make([]Update, count)
+			for i := range b.Updates {
+				op := r.take("op", 1)
+				u := r.u32("u")
+				v := r.u32("v")
+				if r.err != nil {
+					break
+				}
+				if op[0] > 1 {
+					r.fail("op", fmt.Sprintf("opcode %d, want 0 (delete) or 1 (insert)", op[0]))
+					break
+				}
+				if u >= 1<<31 || v >= 1<<31 {
+					r.fail("endpoint", "vertex id overflows int32")
+					break
+				}
+				b.Updates[i] = Update{Insert: op[0] == 1, U: int32(u), V: int32(v)}
+			}
+		}
+		m = b
+	case TypeAck:
+		m = Ack{Seq: r.u64("seq"), Applied: r.u64("applied")}
+	case TypeStatsReq:
+		m = StatsReq{}
+	case TypeStatsResp:
+		s := StatsResp{}
+		count := r.u32("count")
+		if count > maxString {
+			r.fail("count", fmt.Sprintf("%d pairs exceeds %d", count, maxString))
+		}
+		if r.err == nil && count > 0 {
+			s.Pairs = make([]StatPair, count)
+			prev := ""
+			for i := range s.Pairs {
+				name := r.str("name")
+				val := r.u64("value")
+				if r.err != nil {
+					break
+				}
+				if i > 0 && name <= prev {
+					r.fail("name", fmt.Sprintf("pair %q out of order after %q (canonical order is strictly ascending)", name, prev))
+					break
+				}
+				prev = name
+				s.Pairs[i] = StatPair{Name: name, Value: int64(val)}
+			}
+		}
+		m = s
+	case TypeMatchReq:
+		m = MatchReq{}
+	case TypeMatchResp:
+		mr := MatchResp{}
+		size := r.u32("size")
+		n := r.u32("n")
+		if size >= 1<<31 {
+			r.fail("size", "overflows int32")
+		}
+		if r.err == nil && len(r.b) != int(n)*4 {
+			r.fail("mates", fmt.Sprintf("n %d wants %d payload bytes, have %d", n, n*4, len(r.b)))
+		}
+		if r.err == nil {
+			mr.Size = int32(size)
+			if int64(size) > int64(n)/2 {
+				r.fail("size", fmt.Sprintf("size %d exceeds n/2 = %d", size, n/2))
+			}
+		}
+		if r.err == nil && n > 0 {
+			mr.Mates = make([]int32, n)
+			for i := range mr.Mates {
+				w := int32(r.u32("mate"))
+				if r.err != nil {
+					break
+				}
+				if w < -1 || w >= int32(n) {
+					r.fail("mate", fmt.Sprintf("mate %d outside [-1,%d)", w, n))
+					break
+				}
+				mr.Mates[i] = w
+			}
+		}
+		m = mr
+	case TypeCheckpointReq:
+		m = CheckpointReq{}
+	case TypeCheckpointResp:
+		m = CheckpointResp{Seq: r.u64("seq"), Bytes: r.u32("bytes")}
+	case TypeFlushReq:
+		m = FlushReq{}
+	case TypeFlushResp:
+		m = FlushResp{Applied: r.u64("applied")}
+	case TypeError:
+		m = ErrorResp{Code: r.u16("code"), Msg: r.str("msg")}
+	case TypeQuit:
+		m = Quit{}
+	default:
+		return nil, &FormatError{Type: typ, Field: "type", Why: fmt.Sprintf("unknown frame type %d", typ)}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, &FormatError{Type: typ, Field: "payload", Why: fmt.Sprintf("%d trailing bytes", len(r.b))}
+	}
+	return m, nil
+}
+
+// DecodeFrame decodes the first frame in b and returns the remaining
+// bytes. Errors are ErrBadMagic, ErrFrameTooBig, *VersionError, or
+// *FormatError.
+func DecodeFrame(b []byte) (Msg, []byte, error) {
+	if len(b) < headerLen {
+		return nil, b, &FormatError{Field: "header", Why: fmt.Sprintf("truncated: need %d bytes, have %d", headerLen, len(b))}
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return nil, b, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, b, &VersionError{Got: b[2]}
+	}
+	typ := b[3]
+	plen := binary.BigEndian.Uint32(b[4:8])
+	if plen > MaxPayload {
+		return nil, b, ErrFrameTooBig
+	}
+	if len(b)-headerLen < int(plen) {
+		return nil, b, &FormatError{Type: typ, Field: "payload", Why: fmt.Sprintf("truncated: length prefix %d, have %d", plen, len(b)-headerLen)}
+	}
+	m, err := decodePayload(typ, b[headerLen:headerLen+int(plen)])
+	if err != nil {
+		return nil, b, err
+	}
+	return m, b[headerLen+int(plen):], nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, m Msg) error {
+	_, err := w.Write(EncodeFrame(m))
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. A clean EOF before any header
+// byte is io.EOF; a partial header or payload is io.ErrUnexpectedEOF.
+// Other errors are the typed decode errors of DecodeFrame.
+func ReadFrame(r io.Reader) (Msg, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return nil, &VersionError{Got: hdr[2]}
+	}
+	plen := binary.BigEndian.Uint32(hdr[4:8])
+	if plen > MaxPayload {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodePayload(hdr[3], payload)
+}
+
+// Bits returns the encoded size of m in bits, the quantity fault plans
+// meter (faults.Injector.Fate).
+func Bits(m Msg) int { return 8 * len(EncodeFrame(m)) }
