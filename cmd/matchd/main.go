@@ -4,8 +4,8 @@
 // Server:
 //
 //	matchd -addr :7333 -n 100000 -shards 4 -backend gdelta \
-//	       -ckpt match.ckpt -ckpt-every 512
-//	matchd -addr :7333 -restore match.ckpt -shards 4     # crash restart
+//	       -ckpt ckpts/ -ckpt-every 512 -ckpt-keep 3
+//	matchd -addr :7333 -restore ckpts/ -shards 4     # crash restart
 //
 // Client subcommands (against a running server):
 //
@@ -44,10 +44,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "backend random seed")
 	backend := flag.String("backend", serve.DefaultBackend, "matcher backend: gdelta | edcs")
 	queue := flag.Int("queue", 64, "per-shard ingest queue depth (batches)")
-	ckptPath := flag.String("ckpt", "", "checkpoint file path (server; empty disables durability)")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory (server; generational, empty disables durability)")
+	ckptKeep := flag.Int("ckpt-keep", serve.DefaultCheckpointKeep, "checkpoint generations to retain (with -ckpt)")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint automatically every this many applied batches (0 disables)")
-	restorePath := flag.String("restore", "", "restore server state from this checkpoint file")
+	restoreDir := flag.String("restore", "", "restore server state from the newest valid generation in this checkpoint directory")
 	faultsPath := flag.String("faults", "", "fault plan file (internal/faults text format) for the ingest path")
+	ioTimeout := flag.Duration("io-timeout", 0, "server: evict connections that stall reads/writes past this deadline (0 disables)")
+	timeout := flag.Duration("timeout", 0, "client: per-request I/O deadline; a dead server fails typed instead of hanging (0 disables)")
 	send := flag.String("send", "", "client: stream this trace file ('-' for stdin) to the server")
 	batch := flag.Int("batch", 256, "client: updates per batch (with -send)")
 	stats := flag.Bool("stats", false, "client: dump server counters")
@@ -56,21 +59,22 @@ func main() {
 	quit := flag.Bool("quit", false, "client: drain and stop the server")
 	flag.Parse()
 
+	opts := clientOptions(*timeout)
 	var err error
 	switch {
 	case *send != "":
-		err = runSend(*addr, *send, *batch)
+		err = runSend(*addr, *send, *batch, opts)
 	case *stats:
-		err = runStats(*addr)
+		err = runStats(*addr, opts)
 	case *match:
-		err = runMatch(*addr)
+		err = runMatch(*addr, opts)
 	case *checkpoint:
-		err = runCheckpoint(*addr)
+		err = runCheckpoint(*addr, opts)
 	case *quit:
-		err = runQuit(*addr)
+		err = runQuit(*addr, opts)
 	default:
 		err = runServer(*addr, *n, *shards, *beta, *eps, *seed, *backend,
-			*queue, *ckptPath, *ckptEvery, *restorePath, *faultsPath)
+			*queue, *ckptDir, *ckptKeep, *ckptEvery, int64(*ioTimeout), *restoreDir, *faultsPath)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "matchd: %v\n", err)
@@ -78,8 +82,21 @@ func main() {
 	}
 }
 
+// clientOptions builds the daemon's client options: a real wall clock and
+// a real sleeper, which the library itself never touches.
+func clientOptions(timeout time.Duration) serve.ClientOptions {
+	opts := serve.ClientOptions{
+		Sleep: func(nanos int64) { time.Sleep(time.Duration(nanos)) },
+	}
+	if timeout > 0 {
+		opts.TimeoutNanos = int64(timeout)
+		opts.NowNanos = func() int64 { return time.Now().UnixNano() }
+	}
+	return opts
+}
+
 func runServer(addr string, n, shards, beta int, eps float64, seed uint64,
-	backend string, queue int, ckptPath string, ckptEvery int, restorePath, faultsPath string) error {
+	backend string, queue int, ckptDir string, ckptKeep, ckptEvery int, ioTimeoutNanos int64, restoreDir, faultsPath string) error {
 	cfg := serve.Config{
 		N:               n,
 		Shards:          shards,
@@ -89,7 +106,9 @@ func runServer(addr string, n, shards, beta int, eps float64, seed uint64,
 		Backend:         backend,
 		QueueDepth:      queue,
 		CheckpointEvery: ckptEvery,
-		CheckpointPath:  ckptPath,
+		CheckpointDir:   ckptDir,
+		CheckpointKeep:  ckptKeep,
+		IOTimeoutNanos:  ioTimeoutNanos,
 		NowNanos:        func() int64 { return time.Now().UnixNano() },
 	}
 	if faultsPath != "" {
@@ -108,15 +127,18 @@ func runServer(addr string, n, shards, beta int, eps float64, seed uint64,
 		s   *serve.Server
 		err error
 	)
-	if restorePath != "" {
-		c, rerr := serve.ReadCheckpointFile(restorePath)
+	if restoreDir != "" {
+		c, report, rerr := serve.RestoreLatest(nil, restoreDir)
 		if rerr != nil {
 			return rerr
 		}
+		for _, sk := range report.Skipped {
+			fmt.Fprintf(os.Stderr, "matchd: skipped corrupt checkpoint: %v\n", sk)
+		}
 		s, err = serve.NewFromCheckpoint(cfg, c)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "matchd: restored %s backend at seq %d (n=%d)\n",
-				s.BackendName(), s.Applied(), s.N())
+			fmt.Fprintf(os.Stderr, "matchd: restored %s backend at seq %d from generation %d (n=%d)\n",
+				s.BackendName(), s.Applied(), report.Gen, s.N())
 		}
 	} else {
 		s, err = serve.New(cfg)
@@ -142,7 +164,7 @@ func runServer(addr string, n, shards, beta int, eps float64, seed uint64,
 
 	err = s.Serve(l)
 	s.Shutdown() // no-op if the signal handler or a Quit got here first
-	if ckptPath != "" {
+	if ckptDir != "" {
 		if _, _, cerr := s.CheckpointNow(); cerr != nil {
 			fmt.Fprintf(os.Stderr, "matchd: final checkpoint: %v\n", cerr)
 		}
@@ -151,7 +173,7 @@ func runServer(addr string, n, shards, beta int, eps float64, seed uint64,
 	return err
 }
 
-func runSend(addr, in string, batch int) error {
+func runSend(addr, in string, batch int, opts serve.ClientOptions) error {
 	r := os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -165,7 +187,7 @@ func runSend(addr, in string, batch int) error {
 	if err != nil {
 		return err
 	}
-	c, err := serve.Dial(addr)
+	c, err := serve.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -193,8 +215,8 @@ func runSend(addr, in string, batch int) error {
 	return nil
 }
 
-func runStats(addr string) error {
-	c, err := serve.Dial(addr)
+func runStats(addr string, opts serve.ClientOptions) error {
+	c, err := serve.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -207,8 +229,8 @@ func runStats(addr string) error {
 	return nil
 }
 
-func runMatch(addr string) error {
-	c, err := serve.Dial(addr)
+func runMatch(addr string, opts serve.ClientOptions) error {
+	c, err := serve.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -221,8 +243,8 @@ func runMatch(addr string) error {
 	return nil
 }
 
-func runCheckpoint(addr string) error {
-	c, err := serve.Dial(addr)
+func runCheckpoint(addr string, opts serve.ClientOptions) error {
+	c, err := serve.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -235,8 +257,8 @@ func runCheckpoint(addr string) error {
 	return nil
 }
 
-func runQuit(addr string) error {
-	c, err := serve.Dial(addr)
+func runQuit(addr string, opts serve.ClientOptions) error {
+	c, err := serve.DialOptions(addr, opts)
 	if err != nil {
 		return err
 	}

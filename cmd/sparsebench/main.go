@@ -5,6 +5,7 @@
 //
 //	sparsebench [-quick] [-seed N] [-experiment T1,T5,F2 | -list]
 //	sparsebench -format json [-benchout BENCH_matching.json]
+//	sparsebench -compare BENCH_matching.json [-tolerance 0.25]
 //	sparsebench [-cpuprofile cpu.out] [-memprofile mem.out] ...
 //
 // Without -experiment it runs the full suite in order. `-format json` runs
@@ -15,6 +16,16 @@
 // BenchReport (schema sparsematch/bench/v3) to -benchout. Parallel
 // speedups are reported only
 // on multi-CPU machines — single-CPU runs emit null speedups ("n/a").
+//
+// `-compare FILE` is the regression gate: it runs the same benchmark and
+// compares each row's ns/op and allocs/op against the committed report in
+// FILE, failing (exit 1) on any regression beyond -tolerance. Rows are
+// compared only when the machine blocks (num_cpu, gomaxprocs) and quick
+// mode agree — otherwise the gate prints why and exits 0, because timing
+// across different hardware measures the machine, not the change. A
+// zero-alloc baseline row regresses on its first introduced allocation at
+// any tolerance.
+//
 // The pprof flags wrap whichever mode runs; see DESIGN.md §Performance for
 // the profiling workflow.
 package main
@@ -38,6 +49,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	format := flag.String("format", "text", "output format: text | csv | json (json runs the benchmark gate)")
 	benchOut := flag.String("benchout", "BENCH_matching.json", "output file for -format json")
+	compare := flag.String("compare", "", "run the benchmark gate and compare against this committed report; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", harness.DefaultBenchTolerance, "fractional slowdown forgiven by -compare before failing")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -78,6 +91,14 @@ func main() {
 	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
+
+	if *compare != "" {
+		code := runCompare(cfg, *compare, *tolerance)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile() // os.Exit skips the deferred stop
+		}
+		os.Exit(code)
+	}
 
 	if *format == "json" {
 		rep := harness.MatchingBench(cfg)
@@ -147,4 +168,47 @@ func main() {
 		}
 		fmt.Printf("   [%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runCompare runs the bench gate and judges it against the committed
+// report at path. Exit codes: 0 pass or skip (machine mismatch), 1
+// regression beyond tolerance, 2 unreadable baseline.
+func runCompare(cfg harness.Config, path string, tolerance float64) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+		return 2
+	}
+	base, err := harness.ReadBenchReport(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparsebench: %s: %v\n", path, err)
+		return 2
+	}
+	cfg.Quick = base.Quick // measure what the baseline measured
+	fresh := harness.MatchingBench(cfg)
+	cmp := harness.CompareBenchReports(base, fresh, tolerance)
+	if !cmp.MachineMatch {
+		fmt.Printf("bench compare vs %s: SKIP (%s)\n", path, cmp.Why)
+		return 0
+	}
+	for _, row := range cmp.MissingRows {
+		fmt.Printf("  missing from this run: %s\n", row)
+	}
+	for _, row := range cmp.NewRows {
+		fmt.Printf("  new in this run (no baseline): %s\n", row)
+	}
+	regs := cmp.Regressions()
+	for _, d := range regs {
+		fmt.Printf("  REGRESSION %-13s %s: %d -> %d (%.2fx, tolerance %.0f%%)\n",
+			d.Metric, d.Row(), d.Old, d.New, d.Ratio, tolerance*100)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("bench compare vs %s: FAIL (%d regressions in %d compared metrics)\n",
+			path, len(regs), len(cmp.Deltas))
+		return 1
+	}
+	fmt.Printf("bench compare vs %s: PASS (%d metrics within %.0f%% tolerance)\n",
+		path, len(cmp.Deltas), tolerance*100)
+	return 0
 }

@@ -203,6 +203,13 @@ func (r *ckReader) adjacency(wantN int) [][]int32 {
 		r.fail(fmt.Sprintf("vertex count %d exceeds %d", n, maxCheckpointVertices))
 		return nil
 	}
+	// Every vertex needs at least a 4-byte degree field, so a count that
+	// exceeds remaining/4 is corrupt — reject it before allocating, or a
+	// 60-byte input claiming 2^27 vertices costs gigabytes up front.
+	if int64(n)*4 > int64(len(r.b)-r.off) {
+		r.fail(fmt.Sprintf("vertex count %d exceeds remaining payload", n))
+		return nil
+	}
 	if wantN >= 0 && int(n) != wantN {
 		r.fail(fmt.Sprintf("adjacency for %d vertices, want %d", n, wantN))
 		return nil

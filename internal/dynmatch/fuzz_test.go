@@ -1,0 +1,129 @@
+package dynmatch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedDMCK builds real DMCK checkpoint bytes: a maintainer driven
+// through a short deterministic churn, then snapshotted.
+func fuzzSeedDMCK(n int, seed uint64) []byte {
+	mt := New(n, Options{Beta: 2, Eps: 0.3}, seed)
+	for i := 0; i < 4*n; i++ {
+		u := int32(i % n)
+		v := int32((i*7 + 3) % n)
+		if u == v {
+			continue
+		}
+		if i%5 == 4 {
+			mt.Delete(u, v)
+		} else {
+			mt.Insert(u, v)
+		}
+	}
+	b, err := mt.Snapshot().MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// fuzzSeedDMEW builds real DMEW bytes the same way for the windowed
+// EDCS backend.
+func fuzzSeedDMEW(n int, seed uint64) []byte {
+	mt := NewEDCSWindowed(n, 0.3, seed)
+	for i := 0; i < 4*n; i++ {
+		u := int32(i % n)
+		v := int32((i*5 + 1) % n)
+		if u == v {
+			continue
+		}
+		if i%6 == 5 {
+			mt.Delete(u, v)
+		} else {
+			mt.Insert(u, v)
+		}
+	}
+	b, err := mt.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FuzzCheckpointDecode pins the DMCK codec on arbitrary bytes: decoding
+// never panics, every rejection is a typed *CheckpointFormatError or
+// *CheckpointVersionError, and every accepted input is canonical — the
+// decoded checkpoint re-marshals to exactly the input bytes.
+func FuzzCheckpointDecode(f *testing.F) {
+	for _, b := range [][]byte{fuzzSeedDMCK(16, 3), fuzzSeedDMCK(40, 11)} {
+		f.Add(b)
+		f.Add(b[:len(b)-1])
+		f.Add(b[:9])
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DMCK"))
+	f.Add([]byte("XXXX\x01"))
+	f.Add(bytes.Repeat([]byte{0x00}, 48))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			var fe *CheckpointFormatError
+			var ve *CheckpointVersionError
+			if !errors.As(err, &fe) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		enc, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded checkpoint does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, enc)
+		}
+	})
+}
+
+// FuzzEDCSWindowedDecode pins the DMEW codec the same way. Restore also
+// performs semantic validation, so the typed-error set additionally
+// includes *RestoreError; on success the restored maintainer re-marshals
+// canonically.
+func FuzzEDCSWindowedDecode(f *testing.F) {
+	for _, b := range [][]byte{fuzzSeedDMEW(16, 5), fuzzSeedDMEW(40, 9)} {
+		f.Add(b)
+		f.Add(b[:len(b)-1])
+		f.Add(b[:9])
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DMEW"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 48))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mt, err := RestoreEDCSWindowed(data)
+		if err != nil {
+			var fe *CheckpointFormatError
+			var ve *CheckpointVersionError
+			var re *RestoreError
+			if !errors.As(err, &fe) && !errors.As(err, &ve) && !errors.As(err, &re) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		enc, err := mt.MarshalBinary()
+		if err != nil {
+			t.Fatalf("restored maintainer does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, enc)
+		}
+	})
+}

@@ -1,0 +1,550 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Storage faults. The message-level fault model (Plan/Injector) shakes the
+// network; this file shakes the disk underneath durable checkpoints. The
+// write path in internal/serve talks to the filesystem only through the FS
+// interface below, so a StorageInjector can be threaded in to tear writes,
+// flip bits, and fail fsyncs at deterministic points — the crash-consistency
+// torture suite injects a fault at every step of the write protocol and
+// asserts recovery still lands on a valid earlier generation.
+
+// File is one open, writable file of an FS.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file's contents to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the durable checkpoint write path:
+// exactly the operations the temp→write→fsync→rename→dirsync protocol and
+// the restore-time generation scan need, small enough that a fault
+// injector can wrap every one of them.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file; removing a missing file is an error.
+	Remove(name string) error
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir flushes dir's entries (the renames) to stable storage.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// fsync on a directory is how POSIX makes renames durable; on
+	// filesystems that reject it the rename is already as durable as the
+	// platform allows, so only real I/O errors propagate.
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// memFile is one file of a MemFS: the written bytes plus the prefix known
+// to have reached "stable storage" (everything up to the last Sync).
+type memFile struct {
+	data   []byte
+	synced int // bytes durable as of the last Sync
+}
+
+// MemFS is an in-memory FS for torture tests: deterministic, no disk, and
+// it tracks which bytes have been fsynced so a simulated crash can expose
+// exactly the torn states a real power cut could. Safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+func (m *MemFS) MkdirAll(dir string) error { return nil } // directories are implicit
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	m.mu.Lock()
+	var names []string
+	for name := range m.files {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.Contains(rest, "/") {
+			out = append(out, rest)
+		}
+	}
+	return out, nil
+}
+
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
+// Truncate cuts a file to n bytes — the injector uses it to materialize
+// torn writes and lost unsynced suffixes.
+func (m *MemFS) Truncate(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if n < len(f.data) {
+		f.data = f.data[:n]
+	}
+	return nil
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok || h.closed {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: os.ErrClosed}
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if f, ok := h.fs.files[h.name]; ok {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}
+
+// StorageOp enumerates the faultable operations of the write/read path.
+type StorageOp uint8
+
+const (
+	OpWrite StorageOp = iota + 1
+	OpSync
+	OpRename
+	OpSyncDir
+	OpRead
+)
+
+func (op StorageOp) String() string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpSyncDir:
+		return "syncdir"
+	case OpRead:
+		return "read"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// StorageFault names one injected filesystem failure mode.
+type StorageFault uint8
+
+const (
+	// FaultNone injects nothing.
+	FaultNone StorageFault = iota
+	// FaultTornWrite persists only a prefix of the written bytes and fails
+	// the operation — the classic mid-write power cut.
+	FaultTornWrite
+	// FaultBitFlip flips one bit of the written bytes and reports success —
+	// silent media corruption the checksum must catch.
+	FaultBitFlip
+	// FaultSyncFail fails fsync and loses the unsynced suffix — the data
+	// never reached stable storage.
+	FaultSyncFail
+	// FaultRenameFail fails the rename; the temp file stays, the final name
+	// is never created (or keeps its old contents).
+	FaultRenameFail
+	// FaultShortRead returns a truncated prefix from a read — a torn read
+	// of a file that itself may be intact.
+	FaultShortRead
+)
+
+func (f StorageFault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultSyncFail:
+		return "sync-fail"
+	case FaultRenameFail:
+		return "rename-fail"
+	case FaultShortRead:
+		return "short-read"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// StoragePlan configures a StorageInjector. Two modes compose:
+//
+//   - Scripted: inject Fault at operation number Step (0-based, counting
+//     every faultable FS operation in program order). Step < 0 disables the
+//     script. This is the torture-test mode: sweep Step over every write
+//     step and assert recovery from each.
+//   - Rate-driven: each operation independently draws from a PCG stream
+//     seeded by Seed; TornWriteRate et al. give per-op fault probabilities.
+//     This is the soak mode.
+//
+// The zero plan injects nothing.
+type StoragePlan struct {
+	Seed uint64
+	// Step is the operation index at which Fault fires (-1 or, in the zero
+	// value, Fault == FaultNone disables the script).
+	Step  int
+	Fault StorageFault
+	// Per-operation fault rates for the seed-driven mode.
+	TornWriteRate  float64
+	BitFlipRate    float64
+	SyncFailRate   float64
+	RenameFailRate float64
+	ShortReadRate  float64
+}
+
+// zeroRates reports whether the rate-driven mode is disabled.
+func (p StoragePlan) zeroRates() bool {
+	return p.TornWriteRate == 0 && p.BitFlipRate == 0 && p.SyncFailRate == 0 &&
+		p.RenameFailRate == 0 && p.ShortReadRate == 0
+}
+
+// A StorageFaultError reports an operation failed by injection, so tests
+// and recovery paths can tell injected damage from real I/O errors.
+type StorageFaultError struct {
+	Op    StorageOp
+	Fault StorageFault
+	Path  string
+}
+
+func (e *StorageFaultError) Error() string {
+	return fmt.Sprintf("faults: injected %s on %s %q", e.Fault, e.Op, e.Path)
+}
+
+// StorageInjector wraps an FS and injects the plan's faults. Operation
+// numbering is deterministic for a deterministic caller: every Create /
+// Write / Sync / Close+Rename / SyncDir / ReadFile advances the counter by
+// the documented amount (Write, Sync, Rename, SyncDir, and ReadFile are
+// the faultable ops; Create, Remove, ReadDir, MkdirAll are not, so step
+// indices line up with the write protocol's interesting states).
+type StorageInjector struct {
+	mu   sync.Mutex
+	fs   FS
+	plan StoragePlan
+	rng  *rand.Rand
+	ops  int
+	hits int
+}
+
+// NewStorageInjector wraps fs with the plan's fault behavior.
+func NewStorageInjector(fs FS, plan StoragePlan) *StorageInjector {
+	inj := &StorageInjector{fs: fs, plan: plan}
+	if plan.Fault == FaultNone {
+		inj.plan.Step = -1
+	}
+	if !plan.zeroRates() {
+		inj.rng = rand.New(rand.NewPCG(plan.Seed, 0x5707a6e))
+	}
+	return inj
+}
+
+// Ops returns how many faultable operations have been observed — a dry run
+// with FaultNone measures how many steps a protocol has, so a torture
+// sweep knows its range.
+func (inj *StorageInjector) Ops() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.ops
+}
+
+// Hits returns how many faults have actually been injected.
+func (inj *StorageInjector) Hits() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.hits
+}
+
+// decide consumes one operation slot and returns the fault to inject on
+// it, already filtered to the kinds that apply to op.
+func (inj *StorageInjector) decide(op StorageOp) StorageFault {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	step := inj.ops
+	inj.ops++
+	if step == inj.plan.Step && applies(inj.plan.Fault, op) {
+		inj.hits++
+		return inj.plan.Fault
+	}
+	if inj.rng != nil {
+		var f StorageFault
+		switch op {
+		case OpWrite:
+			if inj.rng.Float64() < inj.plan.TornWriteRate {
+				f = FaultTornWrite
+			} else if inj.rng.Float64() < inj.plan.BitFlipRate {
+				f = FaultBitFlip
+			}
+		case OpSync, OpSyncDir:
+			if inj.rng.Float64() < inj.plan.SyncFailRate {
+				f = FaultSyncFail
+			}
+		case OpRename:
+			if inj.rng.Float64() < inj.plan.RenameFailRate {
+				f = FaultRenameFail
+			}
+		case OpRead:
+			if inj.rng.Float64() < inj.plan.ShortReadRate {
+				f = FaultShortRead
+			}
+		}
+		if f != FaultNone {
+			inj.hits++
+			return f
+		}
+	}
+	return FaultNone
+}
+
+// applies reports whether fault kind f can fire on operation op.
+func applies(f StorageFault, op StorageOp) bool {
+	switch f {
+	case FaultTornWrite, FaultBitFlip:
+		return op == OpWrite
+	case FaultSyncFail:
+		return op == OpSync || op == OpSyncDir
+	case FaultRenameFail:
+		return op == OpRename
+	case FaultShortRead:
+		return op == OpRead
+	}
+	return false
+}
+
+// cut returns a deterministic proper cut point for a torn prefix of n
+// bytes, derived from the plan seed and the operation index so reruns tear
+// identically.
+func (inj *StorageInjector) cut(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// SplitMix64 on (seed, ops) — cheap, stateless, deterministic.
+	x := inj.plan.Seed + 0x9e3779b97f4a7c15*uint64(inj.Ops())
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+func (inj *StorageInjector) MkdirAll(dir string) error { return inj.fs.MkdirAll(dir) }
+
+func (inj *StorageInjector) Create(name string) (File, error) {
+	f, err := inj.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injHandle{inj: inj, f: f, name: name}, nil
+}
+
+func (inj *StorageInjector) Rename(oldname, newname string) error {
+	if inj.decide(OpRename) == FaultRenameFail {
+		return &StorageFaultError{Op: OpRename, Fault: FaultRenameFail, Path: newname}
+	}
+	return inj.fs.Rename(oldname, newname)
+}
+
+func (inj *StorageInjector) Remove(name string) error { return inj.fs.Remove(name) }
+
+func (inj *StorageInjector) ReadFile(name string) ([]byte, error) {
+	fault := inj.decide(OpRead)
+	b, err := inj.fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if fault == FaultShortRead {
+		return b[:inj.cut(len(b))], nil
+	}
+	return b, nil
+}
+
+func (inj *StorageInjector) ReadDir(dir string) ([]string, error) { return inj.fs.ReadDir(dir) }
+
+func (inj *StorageInjector) SyncDir(dir string) error {
+	if inj.decide(OpSyncDir) == FaultSyncFail {
+		return &StorageFaultError{Op: OpSyncDir, Fault: FaultSyncFail, Path: dir}
+	}
+	return inj.fs.SyncDir(dir)
+}
+
+// injHandle wraps an open file with write-path injection.
+type injHandle struct {
+	inj     *StorageInjector
+	f       File
+	name    string
+	written int
+}
+
+func (h *injHandle) Write(p []byte) (int, error) {
+	switch h.inj.decide(OpWrite) {
+	case FaultTornWrite:
+		cut := h.inj.cut(len(p))
+		if cut > 0 {
+			h.f.Write(p[:cut]) // best effort: the prefix that "made it"
+		}
+		return cut, &StorageFaultError{Op: OpWrite, Fault: FaultTornWrite, Path: h.name}
+	case FaultBitFlip:
+		flipped := append([]byte(nil), p...)
+		if len(flipped) > 0 {
+			i := h.inj.cut(len(flipped))
+			flipped[i] ^= 1 << (uint(h.inj.cut(8)) & 7)
+		}
+		h.written += len(flipped)
+		return h.f.Write(flipped)
+	}
+	n, err := h.f.Write(p)
+	h.written += n
+	return n, err
+}
+
+func (h *injHandle) Sync() error {
+	if h.inj.decide(OpSync) == FaultSyncFail {
+		// The unsynced suffix never reached stable storage: tear the file at
+		// a deterministic point to model the loss.
+		if m, ok := h.inj.fs.(*MemFS); ok {
+			m.Truncate(h.name, h.inj.cut(h.written))
+		}
+		return &StorageFaultError{Op: OpSync, Fault: FaultSyncFail, Path: h.name}
+	}
+	return h.f.Sync()
+}
+
+func (h *injHandle) Close() error { return h.f.Close() }
+
+var (
+	_ FS = OSFS{}
+	_ FS = (*MemFS)(nil)
+	_ FS = (*StorageInjector)(nil)
+)
+
+// tmpSuffix marks in-flight temp files of the durable write protocol; the
+// restore scan ignores them and prune sweeps them.
+const tmpSuffix = ".tmp"
+
+// IsTemp reports whether a directory entry is a write-protocol temp file.
+func IsTemp(name string) bool { return strings.HasSuffix(name, tmpSuffix) }
+
+// TempName returns the temp-file name the durable write protocol uses for
+// a final path.
+func TempName(path string) string { return path + tmpSuffix }

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Bench-gate regression mode (`sparsebench -compare`): a fresh run of the
+// matching bench is compared row-by-row against the committed
+// BENCH_matching.json, and regressions in ns/op or allocs/op beyond a
+// tolerance fail the gate. Comparison is only meaningful when the machine
+// blocks agree — timing a 1-CPU container against an 8-CPU laptop record
+// measures the hardware, not the PR — so a machine mismatch skips the
+// gate instead of failing it.
+
+// DefaultBenchTolerance is the fractional slowdown the compare gate
+// forgives before calling a row a regression. Benchmarks in shared CI
+// runners jitter; 25% is wide enough to absorb that and narrow enough to
+// catch a real hot-path pessimization.
+const DefaultBenchTolerance = 0.25
+
+// A BenchDelta is one metric of one row compared across two reports.
+type BenchDelta struct {
+	Experiment string
+	Instance   string
+	Backend    string
+	Workers    int
+	Metric     string // "ns_per_op" | "allocs_per_op"
+	Old, New   int64
+	// Ratio is New/Old (with Old==0 treated as Ratio 1 when New is also 0).
+	Ratio     float64
+	Regressed bool
+}
+
+// Row names the delta's row in the compact form used by gate output.
+func (d BenchDelta) Row() string {
+	return fmt.Sprintf("%s/%s w=%d (%s)", d.Experiment, d.Backend, d.Workers, d.Instance)
+}
+
+// A BenchComparison is the full outcome of comparing a fresh report
+// against a committed baseline.
+type BenchComparison struct {
+	// MachineMatch is false when the machine blocks (num_cpu, gomaxprocs)
+	// or the quick flag differ; Deltas is empty in that case and the gate
+	// must be skipped, not failed.
+	MachineMatch bool
+	// Why explains a MachineMatch=false outcome.
+	Why string
+	// MissingRows are baseline rows with no counterpart in the fresh run —
+	// a renamed or deleted benchmark, reported so a gate cannot silently
+	// narrow.
+	MissingRows []string
+	// NewRows are fresh rows with no baseline — informational.
+	NewRows []string
+	// Deltas holds the per-metric comparison of every matched row.
+	Deltas []BenchDelta
+}
+
+// Regressions returns the deltas that exceeded the tolerance.
+func (c BenchComparison) Regressions() []BenchDelta {
+	var out []BenchDelta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ReadBenchReport decodes a BENCH_*.json report and refuses schemas this
+// build does not understand.
+func ReadBenchReport(r io.Reader) (BenchReport, error) {
+	var rep BenchReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return BenchReport{}, fmt.Errorf("harness: decode bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return BenchReport{}, fmt.Errorf("harness: bench report schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	return rep, nil
+}
+
+func benchRowKey(r BenchResult) string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", r.Experiment, r.Instance, r.Backend, r.Workers)
+}
+
+// CompareBenchReports compares fresh against base row-by-row. A row
+// regresses when fresh ns/op or allocs/op exceeds base×(1+tolerance); the
+// allocs check is what keeps the noalloc steady-state contract honest — a
+// zero-alloc baseline row fails on the first allocation a change
+// introduces. tolerance <= 0 selects DefaultBenchTolerance.
+func CompareBenchReports(base, fresh BenchReport, tolerance float64) BenchComparison {
+	if tolerance <= 0 {
+		tolerance = DefaultBenchTolerance
+	}
+	switch {
+	case base.NumCPU != fresh.NumCPU || base.GoMaxProcs != fresh.GoMaxProcs:
+		return BenchComparison{Why: fmt.Sprintf("machine mismatch: baseline %d cpu / gomaxprocs %d, this run %d / %d",
+			base.NumCPU, base.GoMaxProcs, fresh.NumCPU, fresh.GoMaxProcs)}
+	case base.Quick != fresh.Quick:
+		return BenchComparison{Why: fmt.Sprintf("mode mismatch: baseline quick=%t, this run quick=%t", base.Quick, fresh.Quick)}
+	}
+
+	cmp := BenchComparison{MachineMatch: true}
+	freshByKey := make(map[string]BenchResult, len(fresh.Results))
+	for _, r := range fresh.Results {
+		freshByKey[benchRowKey(r)] = r
+	}
+	seen := make(map[string]bool, len(base.Results))
+	for _, old := range base.Results {
+		key := benchRowKey(old)
+		seen[key] = true
+		now, ok := freshByKey[key]
+		if !ok {
+			cmp.MissingRows = append(cmp.MissingRows, BenchDelta{Experiment: old.Experiment,
+				Instance: old.Instance, Backend: old.Backend, Workers: old.Workers}.Row())
+			continue
+		}
+		for _, m := range []struct {
+			name     string
+			old, now int64
+		}{
+			{"ns_per_op", old.NsPerOp, now.NsPerOp},
+			{"allocs_per_op", old.AllocsPerOp, now.AllocsPerOp},
+		} {
+			d := BenchDelta{
+				Experiment: old.Experiment, Instance: old.Instance,
+				Backend: old.Backend, Workers: old.Workers,
+				Metric: m.name, Old: m.old, New: m.now,
+			}
+			switch {
+			case m.old > 0:
+				d.Ratio = float64(m.now) / float64(m.old)
+				d.Regressed = d.Ratio > 1+tolerance
+			case m.now > 0:
+				// Baseline zero, fresh nonzero: an introduced cost with no
+				// finite ratio. Always a regression (this is the noalloc gate).
+				d.Ratio = float64(m.now)
+				d.Regressed = true
+			default:
+				d.Ratio = 1
+			}
+			cmp.Deltas = append(cmp.Deltas, d)
+		}
+	}
+	for _, r := range fresh.Results {
+		if key := benchRowKey(r); !seen[key] {
+			cmp.NewRows = append(cmp.NewRows, BenchDelta{Experiment: r.Experiment,
+				Instance: r.Instance, Backend: r.Backend, Workers: r.Workers}.Row())
+		}
+	}
+	sort.Strings(cmp.MissingRows)
+	sort.Strings(cmp.NewRows)
+	return cmp
+}

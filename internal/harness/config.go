@@ -51,6 +51,7 @@ func All() []Experiment {
 		{"T17", "Parallel phase-engine scaling and worker-invariance", T17},
 		{"T18", "Sparsifier backend shootout: G_Δ vs EDCS on (un)bounded β", T18},
 		{"T19", "Served dynamic matching: throughput, latency, replay conformance", T19},
+		{"T20", "Durability torture and overload control: faults, recovery, shedding", T20},
 		{"F1", "Failure-probability concentration vs n (Thm 2.1)", F1},
 		{"F2", "Preserved matching fraction vs Δ (figure series)", F2},
 		{"F3", "Matching lower bound across families (Lemma 2.2)", F3},

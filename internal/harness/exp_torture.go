@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"net"
+	"slices"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+)
+
+// T20 measures the robustness layer end to end: the durability torture
+// (a storage fault injected at every faultable operation of the
+// checkpoint write path, then crash-recovery from the surviving
+// generations) and the overload control loop (a flooding client against
+// a small admission quota). Both tables end in a bitident column — the
+// point of the whole layer is that neither storage faults nor load
+// shedding can bend the matching away from a direct replay.
+func T20(cfg Config) []*Table {
+	n := cfg.pick(80, 160)
+	churn := cfg.pick(240, 480)
+	const batch = 20
+
+	torture := NewTable("T20", "durability torture: one storage fault per faultable checkpoint op, then recovery",
+		"every faulted run recovers onto a valid generation and replays to the never-crashed matching; corrupt newest generations are skipped, not trusted",
+		"backend", "fault_points", "faulted_runs", "recovered", "gens_skipped", "bitident")
+	overload := NewTable("T20", "overload control: flooding client vs admission quota",
+		"the quota sheds work instead of queueing it, the client's backoff loop resends, and the committed matching is still bit-identical",
+		"backend", "quota", "batches", "shed", "retry_pauses", "bitident")
+
+	for _, backendName := range serve.BackendNames() {
+		tr, err := cli.MakeTrace("diversity2", n, 8, churn, cfg.Seed+51)
+		if err != nil {
+			panic(err) // family name is a literal; cannot fail
+		}
+		ups := make([]wire.Update, len(tr.Updates))
+		for i, u := range tr.Updates {
+			ups[i] = wire.Update{Insert: u.Insert, U: u.U, V: u.V}
+		}
+		want := directMates(backendName, tr.N, ups, cfg.Seed+53)
+
+		// Dry run: count the faultable ops of a fully-checkpointed pass.
+		dry := faults.NewStorageInjector(faults.NewMemFS(), faults.StoragePlan{})
+		tortureRun(backendName, tr.N, ups, batch, cfg.Seed+53, dry)
+		steps := dry.Ops()
+
+		// One run per (step, fault kind that can land on that step). The
+		// write path is strictly [write, fsync, rename, syncdir], so the
+		// kind map below covers every op with every fault it can express.
+		kindsFor := map[int][]faults.StorageFault{
+			0: {faults.FaultTornWrite, faults.FaultBitFlip},
+			1: {faults.FaultSyncFail},
+			2: {faults.FaultRenameFail},
+			3: {faults.FaultSyncFail},
+		}
+		runs, recovered, skipped, ident := 0, 0, 0, true
+		for step := 0; step < steps; step++ {
+			for _, kind := range kindsFor[step%4] {
+				mem := faults.NewMemFS()
+				inj := faults.NewStorageInjector(mem, faults.StoragePlan{Step: step, Fault: kind})
+				tortureRun(backendName, tr.N, ups, batch, cfg.Seed+53, inj)
+				runs++
+				c, report, err := serve.RestoreLatest(mem, "ck")
+				if err != nil {
+					continue // not recovered; the column will show it
+				}
+				recovered++
+				skipped += len(report.Skipped)
+				s, err := serve.NewFromCheckpoint(serve.Config{Shards: 2}, c)
+				if err != nil {
+					panic(err)
+				}
+				// Exactly-once sequencing dedups the already-applied prefix,
+				// so recovery replay is simply "send the trace again".
+				mates, _ := streamTrace(s, ups, batch, serve.ClientOptions{})
+				s.Shutdown()
+				ident = ident && slices.Equal(mates, want)
+			}
+		}
+		torture.AddRow(backendName, steps, runs, recovered, skipped, ident && recovered == runs)
+
+		// Overload: a 64-deep send window against a quota of 8.
+		const quota = 8
+		s, err := serve.New(serve.Config{
+			N: tr.N, Shards: 2, Beta: 2, Eps: 0.3, Seed: cfg.Seed + 53,
+			Backend: backendName, MaxInflight: quota,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var pauses int64
+		opts := serve.ClientOptions{
+			MaxPasses: 64,
+			Backoff:   serve.Backoff{BaseNanos: int64(time.Microsecond), MaxNanos: int64(time.Millisecond), Seed: cfg.Seed},
+			Sleep:     func(nanos int64) { pauses++; time.Sleep(time.Duration(nanos)) },
+		}
+		mates, pairs := streamTrace(s, ups, batch, opts)
+		s.Shutdown()
+		shed := int64(0)
+		for _, p := range pairs {
+			if p.Name == "loadshed_batches" {
+				shed = p.Value
+			}
+		}
+		batches := (len(ups) + batch - 1) / batch
+		overload.AddRow(backendName, quota, batches, shed, pauses, slices.Equal(mates, want))
+	}
+	return []*Table{torture, overload}
+}
+
+// directMates replays the updates on a bare backend instance — the ground
+// truth both T20 tables compare against.
+func directMates(backendName string, n int, ups []wire.Update, seed uint64) []int32 {
+	b, err := serve.BackendByName(backendName)
+	if err != nil {
+		panic(err)
+	}
+	m, err := b.New(n, 2, 0.3, seed)
+	if err != nil {
+		panic(err)
+	}
+	for _, u := range ups {
+		if u.Insert {
+			m.Insert(u.U, u.V)
+		} else {
+			m.Delete(u.U, u.V)
+		}
+	}
+	return m.Matching().Mates()
+}
+
+// tortureRun streams the whole trace through a server checkpointing onto
+// fs (auto every 4 batches plus a final explicit one). Checkpoint write
+// errors are tolerated — that is the scenario under test; the apply loop
+// must keep serving through them.
+func tortureRun(backendName string, n int, ups []wire.Update, batch int, seed uint64, fs faults.FS) {
+	s, err := serve.New(serve.Config{
+		N: n, Shards: 2, Beta: 2, Eps: 0.3, Seed: seed, Backend: backendName,
+		CheckpointDir: "ck", CheckpointEvery: 4, FS: fs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	streamTrace(s, ups, batch, serve.ClientOptions{})
+	s.CheckpointNow() // failure tolerated: a faulted final generation is the point
+	s.Shutdown()
+}
+
+// streamTrace drives a started server over a loopback listener and
+// returns the served matching and final stats counters.
+func streamTrace(s *serve.Server, ups []wire.Update, batch int, opts serve.ClientOptions) ([]int32, []wire.StatPair) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go s.Serve(l)
+	c, err := serve.DialOptions(l.Addr().String(), opts)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	if err := c.SendUpdates(ups, batch); err != nil {
+		panic(err)
+	}
+	mates, _, err := c.Matching()
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := c.Stats()
+	if err != nil {
+		panic(err)
+	}
+	l.Close()
+	return mates, pairs
+}

@@ -22,7 +22,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 	for _, backend := range serve.BackendNames() {
 		t.Run(backend, func(t *testing.T) {
 			want := directReplay(t, backend, n, updates)
-			ckptPath := filepath.Join(t.TempDir(), "match.ckpt")
+			ckptDir := filepath.Join(t.TempDir(), "ckpts")
 
 			// Phase 1: serve with a crash-stop scheduled at the 40th batch
 			// arrival, checkpointing every 8 applied batches.
@@ -30,7 +30,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 				N: n, Shards: 4, Beta: testBeta, Eps: testEps, Seed: testSeed,
 				Backend:         backend,
 				CheckpointEvery: 8,
-				CheckpointPath:  ckptPath,
+				CheckpointDir:   ckptDir,
 				Plan:            &faults.Plan{Crashes: []faults.Crash{{Node: 0, Round: 40}}},
 			})
 			c := dial(t, addr)
@@ -47,10 +47,13 @@ func TestCrashRestartRecovery(t *testing.T) {
 			}
 			crashed.Shutdown()
 
-			// Phase 2: operator restart from the durable checkpoint.
-			ck, err := serve.ReadCheckpointFile(ckptPath)
+			// Phase 2: operator restart from the newest durable generation.
+			ck, report, err := serve.RestoreLatest(nil, ckptDir)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if len(report.Skipped) != 0 {
+				t.Fatalf("clean crash-stop left corrupt generations: %v", report.Skipped)
 			}
 			if ck.Applied == 0 {
 				t.Fatal("no progress was checkpointed before the crash")

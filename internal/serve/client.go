@@ -2,15 +2,17 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/serve/wire"
 )
 
 // A ServerError is a typed ErrorResp surfaced by the client: the server
-// refused a request (invalid update, crash-stop, shutdown).
+// refused a request (invalid update, crash-stop, shutdown, overload).
 type ServerError struct {
 	Code uint16
 	Msg  string
@@ -24,32 +26,169 @@ func (e *ServerError) Error() string {
 // the server, and the caller should restart it from a checkpoint.
 func (e *ServerError) Crashed() bool { return e.Code == wire.CodeCrashed }
 
+// Overloaded reports a CodeOverloaded refusal — the server's admission
+// quota shed the batch. Retryable: back off and retransmit.
+func (e *ServerError) Overloaded() bool { return e.Code == wire.CodeOverloaded }
+
+// A TimeoutError reports an I/O deadline expiring on the client's
+// connection: the server stopped reading or writing within the configured
+// timeout. Unlike a hang, it is typed, bounded, and actionable.
+type TimeoutError struct {
+	Op           string // "read" or "write"
+	TimeoutNanos int64
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("serve: %s timed out after %dns", e.Op, e.TimeoutNanos)
+}
+
+// Timeout marks the error as a timeout in the net.Error sense.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// A RetryExhaustedError reports a SendUpdates call that ran out of
+// retransmission passes with work still uncommitted. Committed/Total
+// carry the progress made, so the caller can resume rather than restart.
+type RetryExhaustedError struct {
+	Committed uint64 // batches the server has applied
+	Total     uint64 // batches the call set out to commit
+	Passes    int    // retransmission passes consumed
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("serve: %d/%d batches committed after %d passes", e.Committed, e.Total, e.Passes)
+}
+
+// DefaultMaxPasses bounds SendUpdates retransmission rounds when
+// ClientOptions.MaxPasses is zero. Under an independent drop rate p < 1
+// the expected number of passes is O(log(total)/log(1/p)); a plan hostile
+// enough to exhaust the bound is reported as a *RetryExhaustedError
+// rather than looping forever.
+const DefaultMaxPasses = 16
+
+// Backoff is a bounded exponential backoff schedule with deterministic
+// jitter: pass k pauses for BaseNanos·2^k, capped at MaxNanos, jittered
+// to a seed-determined point in [d/2, d]. The zero value uses 1ms base
+// and 512ms cap.
+type Backoff struct {
+	BaseNanos int64
+	MaxNanos  int64
+	Seed      uint64
+}
+
+// Pause returns the pause before retransmission pass k (k ≥ 1). The same
+// (Backoff, k) always returns the same pause — deterministic jitter, not
+// wall-clock or global-RNG jitter — so paced retries are replayable.
+func (b Backoff) Pause(k int) int64 {
+	base, max := b.BaseNanos, b.MaxNanos
+	if base <= 0 {
+		base = int64(time.Millisecond)
+	}
+	if max <= 0 {
+		max = 512 * int64(time.Millisecond)
+	}
+	d := base
+	for i := 1; i < k && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	// SplitMix64 over (seed, pass): full decorrelation between passes and
+	// between clients with different seeds, zero shared state.
+	z := b.Seed + 0x9e3779b97f4a7c15*uint64(k+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + int64(z%uint64(half+1))
+}
+
+// ClientOptions tune a client's liveness behavior. The zero value
+// reproduces the historical defaults: no I/O deadlines, no pacing, and
+// DefaultMaxPasses retransmission rounds.
+type ClientOptions struct {
+	// MaxPasses bounds SendUpdates retransmission rounds (0 →
+	// DefaultMaxPasses, negative → exactly one pass).
+	MaxPasses int
+	// Backoff is the pause schedule between retransmission passes.
+	Backoff Backoff
+	// Sleep pauses for the given nanoseconds between retransmission
+	// passes. nil disables pacing (retries run back to back) — the
+	// library never calls time.Sleep itself; daemons inject it.
+	Sleep func(nanos int64)
+	// TimeoutNanos arms a deadline on every conn read and write; an
+	// expired deadline surfaces as a typed *TimeoutError instead of a
+	// hang. 0 disables deadlines. Requires NowNanos and a conn with
+	// deadline support (any net.Conn).
+	TimeoutNanos int64
+	// NowNanos supplies the wall clock deadlines are computed against;
+	// daemons inject time.Now().UnixNano. Required when TimeoutNanos > 0.
+	NowNanos func() int64
+}
+
+// deadlineConn is the slice of net.Conn the client needs for I/O
+// deadlines; net.Pipe ends implement it too.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
 // Client speaks the matchd wire protocol over one connection. It is not
 // safe for concurrent use; requests are strictly pipelined in order.
 type Client struct {
 	conn    io.ReadWriteCloser
+	dl      deadlineConn // non-nil when opts arm deadlines
+	opts    ClientOptions
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	welcome wire.Welcome
 	applied uint64 // highest apply progress the server has reported
 }
 
-// Dial connects to a matchd server address and performs the handshake.
+// Dial connects to a matchd server address and performs the handshake
+// with default options.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions connects to a matchd server address and performs the
+// handshake with the given options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial: %w", err)
 	}
-	return NewClient(conn)
+	return NewClientOptions(conn, opts)
 }
 
 // NewClient performs the Hello/Welcome handshake over an established
-// connection (a socket or an in-process pipe end).
+// connection (a socket or an in-process pipe end) with default options.
 func NewClient(conn io.ReadWriteCloser) (*Client, error) {
+	return NewClientOptions(conn, ClientOptions{})
+}
+
+// NewClientOptions performs the handshake with explicit options.
+func NewClientOptions(conn io.ReadWriteCloser, opts ClientOptions) (*Client, error) {
 	c := &Client{
 		conn: conn,
+		opts: opts,
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+	if opts.TimeoutNanos > 0 {
+		if opts.NowNanos == nil {
+			conn.Close()
+			return nil, errors.New("serve: ClientOptions.TimeoutNanos requires NowNanos")
+		}
+		dl, ok := conn.(deadlineConn)
+		if !ok {
+			conn.Close()
+			return nil, fmt.Errorf("serve: conn %T does not support deadlines", conn)
+		}
+		c.dl = dl
 	}
 	m, err := c.roundTrip(wire.Hello{})
 	if err != nil {
@@ -75,17 +214,52 @@ func (c *Client) Applied() uint64 { return c.applied }
 // Close closes the connection without shutting the server down.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// armRead starts the read-deadline clock for the next conn read; a no-op
+// without configured deadlines.
+func (c *Client) armRead() {
+	if c.dl != nil {
+		c.dl.SetReadDeadline(time.Unix(0, c.opts.NowNanos()+c.opts.TimeoutNanos))
+	}
+}
+
+// armWrite starts the write-deadline clock for the next conn write.
+func (c *Client) armWrite() {
+	if c.dl != nil {
+		c.dl.SetWriteDeadline(time.Unix(0, c.opts.NowNanos()+c.opts.TimeoutNanos))
+	}
+}
+
+// wrapIO converts an expired-deadline error into a typed *TimeoutError
+// and tags everything else with the operation.
+func (c *Client) wrapIO(op string, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &TimeoutError{Op: op, TimeoutNanos: c.opts.TimeoutNanos}
+	}
+	return fmt.Errorf("serve: %s: %w", op, err)
+}
+
 func (c *Client) send(m wire.Msg) error {
 	if err := wire.WriteFrame(c.bw, m); err != nil {
-		return fmt.Errorf("serve: send: %w", err)
+		return c.wrapIO("send", err)
+	}
+	return nil
+}
+
+// flushConn drains the buffered writer to the conn under a write deadline.
+func (c *Client) flushConn() error {
+	c.armWrite()
+	if err := c.bw.Flush(); err != nil {
+		return c.wrapIO("write", err)
 	}
 	return nil
 }
 
 func (c *Client) recv() (wire.Msg, error) {
+	c.armRead()
 	m, err := wire.ReadFrame(c.br)
 	if err != nil {
-		return nil, fmt.Errorf("serve: recv: %w", err)
+		return nil, c.wrapIO("read", err)
 	}
 	if e, ok := m.(wire.ErrorResp); ok {
 		return nil, &ServerError{Code: e.Code, Msg: e.Msg}
@@ -97,8 +271,8 @@ func (c *Client) roundTrip(m wire.Msg) (wire.Msg, error) {
 	if err := c.send(m); err != nil {
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("serve: flush: %w", err)
+	if err := c.flushConn(); err != nil {
+		return nil, err
 	}
 	return c.recv()
 }
@@ -126,21 +300,27 @@ func (c *Client) Flush() (uint64, error) {
 // draining acknowledgements.
 const sendWindow = 64
 
-// maxSendPasses bounds retransmission rounds. Under an independent drop
-// rate p < 1 the expected number of passes is O(log(total)/log(1/p)); a
-// plan hostile enough to exhaust 64 passes is reported as an error rather
-// than looping forever.
-const maxSendPasses = 64
-
 // SendUpdates streams the update sequence to the server in batches of
 // batchSize, pipelined sendWindow batches deep, and retransmits until the
 // server has committed everything. Batch sequence numbers are assigned
 // from position — sequence k carries updates [(k-1)·batchSize, …) — so a
 // replay after reconnecting to a restored server sends exactly the suffix
 // the checkpoint had not yet absorbed.
+//
+// Retransmission passes are bounded (ClientOptions.MaxPasses) and paced
+// by bounded exponential backoff with deterministic jitter
+// (ClientOptions.Backoff/Sleep), replacing unbounded hot retries. A
+// server overload shed (CodeOverloaded) is retryable: the pass stops
+// sending, the pause runs, and the next pass resumes from the committed
+// prefix. Exhausting the pass budget returns a *RetryExhaustedError with
+// the progress made.
 func (c *Client) SendUpdates(ups []wire.Update, batchSize int) error {
 	if batchSize <= 0 {
 		batchSize = 256
+	}
+	maxPasses := c.opts.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = DefaultMaxPasses
 	}
 	total := uint64((len(ups) + batchSize - 1) / batchSize)
 	batch := func(seq uint64) wire.Batch {
@@ -158,14 +338,24 @@ func (c *Client) SendUpdates(ups []wire.Update, batchSize int) error {
 		if c.applied >= total {
 			return nil
 		}
-		if pass >= maxSendPasses {
-			return fmt.Errorf("serve: %d/%d batches committed after %d passes", c.applied, total, pass)
+		if pass >= maxPasses {
+			return &RetryExhaustedError{Committed: c.applied, Total: total, Passes: pass}
 		}
-		outstanding := 0
+		if pass > 0 && c.opts.Sleep != nil {
+			c.opts.Sleep(c.opts.Backoff.Pause(pass))
+		}
+		outstanding, shed := 0, false
 		drain := func() error {
 			for ; outstanding > 0; outstanding-- {
 				m, err := c.recv()
 				if err != nil {
+					var se *ServerError
+					if errors.As(err, &se) && se.Overloaded() {
+						// Admission quota shed this batch; the reply slot is
+						// consumed, the batch retries next pass after backoff.
+						shed = true
+						continue
+					}
 					return err
 				}
 				a, ok := m.(wire.Ack)
@@ -178,22 +368,22 @@ func (c *Client) SendUpdates(ups []wire.Update, batchSize int) error {
 			}
 			return nil
 		}
-		for seq := c.applied + 1; seq <= total; seq++ {
+		for seq := c.applied + 1; seq <= total && !shed; seq++ {
 			if err := c.send(batch(seq)); err != nil {
 				return err
 			}
 			outstanding++
 			if outstanding == sendWindow {
-				if err := c.bw.Flush(); err != nil {
-					return fmt.Errorf("serve: flush: %w", err)
+				if err := c.flushConn(); err != nil {
+					return err
 				}
 				if err := drain(); err != nil {
 					return err
 				}
 			}
 		}
-		if err := c.bw.Flush(); err != nil {
-			return fmt.Errorf("serve: flush: %w", err)
+		if err := c.flushConn(); err != nil {
+			return err
 		}
 		if err := drain(); err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/serve/wire"
 )
@@ -34,9 +35,16 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // ServeConn runs the wire protocol on one connection until the peer
-// disconnects, sends Quit, or the server shuts down. It may be called
-// directly with an in-process pipe end — that is how the conformance
-// tests drive a server without sockets.
+// disconnects, sends Quit, stalls past the configured I/O deadline, or
+// the server shuts down. It may be called directly with an in-process
+// pipe end — that is how the conformance tests drive a server without
+// sockets.
+//
+// With Config.IOTimeoutNanos set, every frame read and every reply write
+// runs under a deadline computed from the injected clock. A conn that
+// goes silent (no frames) or stops draining replies (write blocks) is
+// evicted — counted in conns_evicted — so one stalled peer can never pin
+// a server goroutine or, transitively, the dispatcher.
 func (s *Server) ServeConn(conn net.Conn) {
 	s.connMu.Lock()
 	if s.stopping.Load() {
@@ -47,6 +55,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.conns[conn] = struct{}{}
 	s.connWG.Add(1)
 	s.connMu.Unlock()
+	s.stats.connsOpened.Add(1)
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, conn)
@@ -55,14 +64,32 @@ func (s *Server) ServeConn(conn net.Conn) {
 		conn.Close()
 	}()
 
+	evictOnTimeout := func(err error) {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.stats.connsEvicted.Add(1)
+		}
+	}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	var replyErr error
 	reply := func(m wire.Msg) bool {
-		return wire.WriteFrame(bw, m) == nil
+		replyErr = wire.WriteFrame(bw, m)
+		return replyErr == nil
 	}
 	for {
+		if s.cfg.IOTimeoutNanos > 0 {
+			conn.SetReadDeadline(time.Unix(0, s.clock()+s.cfg.IOTimeoutNanos))
+		}
 		m, err := wire.ReadFrame(br)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Idle or stalled peer: evict silently — there is no point
+				// writing a diagnostic to a conn that is not being read.
+				s.stats.connsEvicted.Add(1)
+				return
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !s.stopping.Load() {
 				// Protocol damage: report once, then drop the conn — after
 				// a framing error the stream cannot be resynchronized.
@@ -70,6 +97,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 				bw.Flush()
 			}
 			return
+		}
+		if s.cfg.IOTimeoutNanos > 0 {
+			// Arm the write deadline before building the reply: large
+			// replies spill through the bufio writer mid-encode, and those
+			// spills must run under the deadline too.
+			conn.SetWriteDeadline(time.Unix(0, s.clock()+s.cfg.IOTimeoutNanos))
 		}
 		ok := true
 		switch m := m.(type) {
@@ -115,7 +148,14 @@ func (s *Server) ServeConn(conn net.Conn) {
 		default:
 			ok = reply(wire.ErrorResp{Code: wire.CodeInternal, Msg: fmt.Sprintf("unexpected frame %T", m)})
 		}
-		if !ok || bw.Flush() != nil {
+		if !ok {
+			evictOnTimeout(replyErr)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			// A slow client that stopped draining replies: evict rather
+			// than block this goroutine (and its backpressure chain).
+			evictOnTimeout(err)
 			return
 		}
 	}
@@ -134,6 +174,16 @@ func (s *Server) handleBatch(b wire.Batch) wire.Msg {
 	if b.Seq == 0 {
 		s.stats.batchesInvalid.Add(1)
 		return wire.ErrorResp{Code: wire.CodeInvalidUpdate, Msg: "batch sequence numbers start at 1"}
+	}
+	if q := s.cfg.MaxInflight; q > 0 {
+		if applied := s.applied.Load(); b.Seq > applied+uint64(q) {
+			// Admission quota: the reorder buffer must stay bounded even
+			// against a client that floods far ahead of the committed
+			// prefix. Shed, don't queue — the client backs off and resends.
+			s.stats.loadshedBatches.Add(1)
+			return wire.ErrorResp{Code: wire.CodeOverloaded,
+				Msg: fmt.Sprintf("sequence %d exceeds admission quota (applied %d + %d)", b.Seq, applied, q)}
+		}
 	}
 	for i, up := range b.Updates {
 		if err := s.validateUpdate(up); err != nil {

@@ -1,0 +1,379 @@
+package serve_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+// mkCheckpoint builds a small synthetic checkpoint whose payload encodes
+// the applied sequence, so generations are distinguishable on restore.
+func mkCheckpoint(applied uint64) *serve.Checkpoint {
+	return &serve.Checkpoint{
+		Applied: applied,
+		N:       64,
+		Beta:    2,
+		Eps:     0.3,
+		Seed:    7,
+		Backend: "gdelta",
+		Payload: []byte(fmt.Sprintf("payload-%d", applied)),
+	}
+}
+
+// writeGens opens a store over fs and writes k generations.
+func writeGens(t *testing.T, fs faults.FS, dir string, keep, k int) *serve.Store {
+	t.Helper()
+	st, err := serve.OpenStore(fs, dir, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		if _, _, _, err := st.Write(mkCheckpoint(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// rewrite mutates one file on fs in place.
+func rewrite(t *testing.T, fs faults.FS, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = mutate(append([]byte(nil), b...))
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sealRaw hand-rolls a durable envelope (magic SMCE, version, gen,
+// length-prefixed payload, trailing CRC-32C) so tests can build envelopes
+// the store itself would refuse to write.
+func sealRaw(version byte, gen uint64, payload []byte) []byte {
+	b := append([]byte("SMCE"), version)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli)))
+}
+
+// TestStoreGenerationsAndPruning pins the generational lifecycle: keep-K
+// pruning, restore of the newest generation, and numbering that continues
+// across a store reopen.
+func TestStoreGenerationsAndPruning(t *testing.T) {
+	fs := faults.NewMemFS()
+	st := writeGens(t, fs, "ck", 3, 5)
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 3 || gens[2] != 5 {
+		t.Fatalf("generations after keep-3 pruning = %v, want [3 4 5]", gens)
+	}
+	c, report, err := st.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Gen != 5 || c.Applied != 5 || len(report.Skipped) != 0 {
+		t.Fatalf("restore = gen %d applied %d skipped %d", report.Gen, c.Applied, len(report.Skipped))
+	}
+	// Reopen: the next write must continue numbering, never reuse gen 5.
+	st2, err := serve.OpenStore(fs, "ck", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, path, n, err := st2.Write(mkCheckpoint(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 6 || n == 0 {
+		t.Fatalf("reopened store wrote gen %d (%d bytes), want gen 6", gen, n)
+	}
+	if _, err := fs.ReadFile(path); err != nil {
+		t.Fatalf("written generation unreadable: %v", err)
+	}
+}
+
+// TestRestoreScanTable drives the newest→oldest scan over every corruption
+// class: each damages the newest generation only, and restore must land on
+// the previous one with a one-entry skip report naming the damaged
+// generation and a typed cause.
+func TestRestoreScanTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantVer bool // cause should be a *CheckpointVersionError
+	}{
+		{name: "bad-magic", mutate: func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{name: "bad-crc", mutate: func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }},
+		{name: "truncated-envelope", mutate: func(b []byte) []byte { return b[:10] }},
+		{name: "truncated-tail", mutate: func(b []byte) []byte { return b[:len(b)-3] }},
+		{name: "empty", mutate: func(b []byte) []byte { return nil }},
+		{name: "version-skew", mutate: func(b []byte) []byte {
+			return sealRaw(99, 3, []byte("whatever"))
+		}, wantVer: true},
+		{name: "garbage-payload", mutate: func(b []byte) []byte {
+			// Envelope intact (CRC valid), payload is not a server checkpoint.
+			return sealRaw(1, 3, []byte("this is not SMCP"))
+		}},
+		{name: "generation-mismatch", mutate: func(b []byte) []byte {
+			// A valid envelope for generation 999 stored under gen 3's name.
+			return sealRaw(1, 999, b[17:len(b)-4])
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := faults.NewMemFS()
+			st := writeGens(t, fs, "ck", 4, 3)
+			rewrite(t, fs, "ck/ckpt.000003", tc.mutate)
+			c, report, err := st.Restore()
+			if err != nil {
+				t.Fatalf("restore failed outright: %v", err)
+			}
+			if report.Gen != 2 || c.Applied != 2 {
+				t.Fatalf("restored gen %d applied %d, want generation 2", report.Gen, c.Applied)
+			}
+			if len(report.Skipped) != 1 {
+				t.Fatalf("skip report has %d entries, want 1: %v", len(report.Skipped), report.Skipped)
+			}
+			sk := report.Skipped[0]
+			if sk.Gen != 3 {
+				t.Fatalf("skipped generation %d, want 3", sk.Gen)
+			}
+			var ce *serve.CheckpointError
+			var ve *serve.CheckpointVersionError
+			switch {
+			case tc.wantVer:
+				if !errors.As(sk.Err, &ve) {
+					t.Fatalf("cause = %v, want *CheckpointVersionError", sk.Err)
+				}
+			default:
+				if !errors.As(sk.Err, &ce) {
+					t.Fatalf("cause = %v, want *CheckpointError", sk.Err)
+				}
+			}
+			var cce *serve.CorruptCheckpointError
+			if !errors.As(error(sk), &cce) {
+				t.Fatalf("skip entry is %T, want *CorruptCheckpointError", sk)
+			}
+		})
+	}
+}
+
+// TestRestoreAllCorrupt: when every generation is damaged, restore fails
+// with a typed *NoValidCheckpointError carrying the full damage list,
+// newest first.
+func TestRestoreAllCorrupt(t *testing.T) {
+	fs := faults.NewMemFS()
+	st := writeGens(t, fs, "ck", 4, 3)
+	for g := 1; g <= 3; g++ {
+		rewrite(t, fs, fmt.Sprintf("ck/ckpt.%06d", g), func(b []byte) []byte { b[6] ^= 0x10; return b })
+	}
+	_, _, err := st.Restore()
+	var nve *serve.NoValidCheckpointError
+	if !errors.As(err, &nve) {
+		t.Fatalf("restore error = %v, want *NoValidCheckpointError", err)
+	}
+	if len(nve.Skipped) != 3 || nve.Skipped[0].Gen != 3 || nve.Skipped[2].Gen != 1 {
+		t.Fatalf("damage list = %v, want gens [3 2 1]", nve.Skipped)
+	}
+
+	// An empty directory is the same typed error with nothing skipped.
+	empty, err := serve.OpenStore(faults.NewMemFS(), "none", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = empty.Restore()
+	if !errors.As(err, &nve) || len(nve.Skipped) != 0 {
+		t.Fatalf("empty-dir restore = %v", err)
+	}
+}
+
+// TestRestoreIgnoresForeignFiles: temp leftovers and unrelated names in
+// the checkpoint directory must not confuse the scan.
+func TestRestoreIgnoresForeignFiles(t *testing.T) {
+	fs := faults.NewMemFS()
+	st := writeGens(t, fs, "ck", 4, 2)
+	for _, name := range []string{"ck/ckpt.000009.tmp", "ck/README", "ck/ckpt.nonsense"} {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("junk"))
+		f.Close()
+	}
+	c, report, err := st.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Gen != 2 || c.Applied != 2 || len(report.Skipped) != 0 {
+		t.Fatalf("restore with foreign files = gen %d, skipped %v", report.Gen, report.Skipped)
+	}
+}
+
+// TestCrashConsistencyTorture is the tentpole durability drill: for BOTH
+// backends, a storage fault is injected at EVERY faultable operation of
+// the checkpoint write path (torn write, bit-flip, failed fsync, failed
+// rename — each at every step index the run reaches), the server then
+// "crashes", and recovery must always land on a valid earlier generation
+// whose replayed continuation is bit-identical to a never-crashed run.
+func TestCrashConsistencyTorture(t *testing.T) {
+	const (
+		n         = 100
+		batchSize = 25
+		ckptEvery = 4
+	)
+	churn := 300
+	if testing.Short() {
+		churn = 150
+	}
+	updates, ups := testTrace(t, n, 8, churn, 41)
+
+	for _, backend := range serve.BackendNames() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			want := directReplay(t, backend, n, updates)
+			wantMates := want.Matching().Mates()
+
+			// runOnce serves the full trace with auto-checkpoints through
+			// fs, then crashes (shuts down) and returns the underlying mem
+			// for recovery.
+			runOnce := func(t *testing.T, inj faults.FS) {
+				t.Helper()
+				s, err := serve.New(serve.Config{
+					N: n, Shards: 2, Beta: testBeta, Eps: testEps, Seed: testSeed,
+					Backend:         backend,
+					CheckpointEvery: ckptEvery,
+					CheckpointDir:   "ck",
+					FS:              inj,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				addr := listen(t, s)
+				c := dial(t, addr)
+				if err := c.SendUpdates(ups, batchSize); err != nil {
+					t.Fatal(err)
+				}
+				// The final explicit checkpoint may be the faulted write;
+				// a failure here is exactly the crash being simulated.
+				s.CheckpointNow()
+				s.Shutdown()
+			}
+
+			// Dry run on a clean MemFS to count the faultable operations
+			// one full serving run performs.
+			dry := faults.NewStorageInjector(faults.NewMemFS(), faults.StoragePlan{})
+			runOnce(t, dry)
+			steps := dry.Ops()
+			if steps < 8 {
+				t.Fatalf("dry run performed %d faultable ops; too few for a meaningful sweep", steps)
+			}
+
+			// Store.Write's op order is fixed — write, fsync, rename,
+			// fsync(dir) — so only the kinds that can land on each step are
+			// swept; the Hits assertion below catches any drift in that
+			// order.
+			kindsFor := map[int][]faults.StorageFault{
+				0: {faults.FaultTornWrite, faults.FaultBitFlip},
+				1: {faults.FaultSyncFail},
+				2: {faults.FaultRenameFail},
+				3: {faults.FaultSyncFail},
+			}
+			hits, skips := 0, 0
+			for step := 0; step < steps; step++ {
+				for _, kind := range kindsFor[step%4] {
+					mem := faults.NewMemFS()
+					inj := faults.NewStorageInjector(mem, faults.StoragePlan{
+						Seed: uint64(1000*step) + uint64(kind), Step: step, Fault: kind,
+					})
+					runOnce(t, inj)
+					if inj.Hits() == 0 {
+						t.Fatalf("step %d %v: fault never fired — write protocol op order drifted", step, kind)
+					}
+					hits++
+
+					// Recovery reads through the raw MemFS: the torn bytes
+					// are on "disk", the injector is out of the picture.
+					ck, report, err := serve.RestoreLatest(mem, "ck")
+					if err != nil {
+						t.Fatalf("step %d %v: recovery found no valid generation: %v", step, kind, err)
+					}
+					skips += len(report.Skipped)
+					restored, err := serve.NewFromCheckpoint(serve.Config{Shards: 2}, ck)
+					if err != nil {
+						t.Fatalf("step %d %v: restore: %v", step, kind, err)
+					}
+					addr := listen(t, restored)
+					c := dial(t, addr)
+					if got := c.Welcome().Applied; got != ck.Applied {
+						t.Fatalf("step %d %v: welcome %d, checkpoint %d", step, kind, got, ck.Applied)
+					}
+					if err := c.SendUpdates(ups, batchSize); err != nil {
+						t.Fatalf("step %d %v: replay: %v", step, kind, err)
+					}
+					mates, size, err := c.Matching()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if size != want.Matching().Size() || !equalMates(mates, wantMates) {
+						t.Fatalf("step %d %v: recovered replay diverged from the never-crashed run", step, kind)
+					}
+					restored.Shutdown()
+				}
+			}
+			if hits == 0 {
+				t.Fatal("torture sweep never injected a fault")
+			}
+			if skips == 0 {
+				t.Fatal("no run ever had to skip a damaged generation — the bit-flip axis is not biting")
+			}
+			t.Logf("%s: %d faultable ops, %d faulted runs, %d generations skipped during recovery", backend, steps, hits, skips)
+		})
+	}
+}
+
+func equalMates(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRestoreShortRead pins the read-side fault axis: a short read while
+// scanning makes the newest generation LOOK truncated; the scan must skip
+// it and recover from the previous one rather than fail.
+func TestRestoreShortRead(t *testing.T) {
+	mem := faults.NewMemFS()
+	writeGens(t, mem, "ck", 4, 3)
+	inj := faults.NewStorageInjector(mem, faults.StoragePlan{Seed: 2, Step: 0, Fault: faults.FaultShortRead})
+	c, report, err := serve.RestoreLatest(inj, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Hits() != 1 {
+		t.Fatalf("short-read fault fired %d times, want 1", inj.Hits())
+	}
+	if report.Gen != 2 || c.Applied != 2 || len(report.Skipped) != 1 || report.Skipped[0].Gen != 3 {
+		t.Fatalf("short-read restore = gen %d, skipped %v", report.Gen, report.Skipped)
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzCheckpoints are representative valid checkpoints used to seed both
+// checkpoint-decoding fuzz targets.
+func fuzzCheckpoints() []*Checkpoint {
+	return []*Checkpoint{
+		{},
+		{Applied: 7, N: 100, Beta: 2, Eps: 0.3, Seed: 9, Backend: "gdelta", Payload: []byte("DMCK-ish")},
+		{Applied: 1 << 40, N: 1 << 20, Beta: 64, Eps: 0.999, Seed: ^uint64(0), Backend: "edcs", Payload: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+}
+
+// FuzzServerCheckpointDecode pins the SMCP codec's safety contracts on
+// arbitrary bytes: no panics, every error typed (*CheckpointError or
+// *CheckpointVersionError), and every accepted input canonical — decode
+// then re-encode reproduces the input exactly.
+func FuzzServerCheckpointDecode(f *testing.F) {
+	for _, c := range fuzzCheckpoints() {
+		b, err := c.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)-1]) // truncated tail
+		f.Add(b[:7])        // truncated header
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SMCPx"))
+	f.Add([]byte("XXXX\x01"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalServerCheckpoint(data)
+		if err != nil {
+			var ce *CheckpointError
+			var ve *CheckpointVersionError
+			if !errors.As(err, &ce) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		enc, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded checkpoint does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, enc)
+		}
+		// Field-wise comparison would trip over NaN Eps values, which the
+		// codec legitimately round-trips; byte equality is the real contract.
+		c2, err := UnmarshalServerCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		enc2, err := c2.MarshalBinary()
+		if err != nil || !bytes.Equal(enc2, enc) {
+			t.Fatalf("second round trip diverged (err %v)", err)
+		}
+	})
+}
+
+// FuzzEnvelopeDecode pins the durable SMCE envelope: open never panics,
+// every rejection is typed, and every accepted envelope re-seals to
+// exactly the input bytes — the CRC leaves no slack for non-canonical
+// encodings.
+func FuzzEnvelopeDecode(f *testing.F) {
+	for i, c := range fuzzCheckpoints() {
+		payload, err := c.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		b := sealEnvelope(uint64(i+1), payload)
+		f.Add(b)
+		f.Add(b[:len(b)-2]) // torn tail
+		f.Add(b[:9])        // torn header
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/2] ^= 0x20 // CRC mismatch
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SMCE\x01"))
+	f.Add(sealEnvelope(0, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, payload, err := openEnvelope(data)
+		if err != nil {
+			var ce *CheckpointError
+			var ve *CheckpointVersionError
+			if !errors.As(err, &ce) && !errors.As(err, &ve) {
+				t.Fatalf("untyped envelope error %T: %v", err, err)
+			}
+			return
+		}
+		if !bytes.Equal(sealEnvelope(gen, payload), data) {
+			t.Fatalf("accepted envelope does not re-seal canonically")
+		}
+	})
+}

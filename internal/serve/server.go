@@ -78,12 +78,31 @@ type Config struct {
 	// CheckpointEvery automatically checkpoints after that many applied
 	// batches; 0 disables automatic checkpoints.
 	CheckpointEvery int
-	// CheckpointPath is where checkpoints are durably written (atomic
-	// temp-then-rename); "" keeps checkpoints in memory only.
-	CheckpointPath string
+	// CheckpointDir is the directory where checkpoint generations are
+	// durably written (temp → write → fsync → rename → fsync dir, sealed
+	// in a checksummed envelope); "" keeps checkpoints in memory only.
+	CheckpointDir string
+	// CheckpointKeep is how many checkpoint generations to retain
+	// (default DefaultCheckpointKeep).
+	CheckpointKeep int
+	// FS is the filesystem checkpoints are written through; nil uses the
+	// real filesystem. Tests inject a faults.MemFS or StorageInjector.
+	FS faults.FS
 	// Plan optionally injects message faults and server crashes on the
 	// ingest path. A nil plan injects nothing.
 	Plan *faults.Plan
+	// IOTimeoutNanos arms a deadline on every connection read and write:
+	// a conn that neither sends a frame nor drains replies within the
+	// timeout is evicted (counted in conns_evicted) instead of occupying
+	// the server forever. 0 disables deadlines. Requires a wall-clock
+	// NowNanos — daemons set both together.
+	IOTimeoutNanos int64
+	// MaxInflight is the per-stream admission quota: a batch whose
+	// sequence runs more than this far ahead of the committed prefix is
+	// shed with CodeOverloaded (counted in loadshed_batches) instead of
+	// queueing unboundedly. 0 → DefaultMaxInflight; negative disables
+	// shedding.
+	MaxInflight int
 	// NowNanos supplies timestamps for latency and uptime accounting. nil
 	// falls back to a deterministic logical tick counter, keeping the
 	// package free of wall-clock reads; daemons inject a real clock.
@@ -106,8 +125,16 @@ func (cfg Config) withDefaults() Config {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
 	return cfg
 }
+
+// DefaultMaxInflight is the admission quota when Config.MaxInflight is
+// zero: far above any healthy pipeline depth (shards × queue), low enough
+// to stop a runaway client from holding the reorder buffer hostage.
+const DefaultMaxInflight = 4096
 
 // submission is one received batch entering the pipeline, or — when flush
 // is non-nil — a barrier marker: the applier answers it with the committed
@@ -152,9 +179,11 @@ type Server struct {
 	clock   func() int64
 	stats   *serverStats
 	inj     *faults.Injector
+	store   *Store // nil when CheckpointDir is unset
 
 	mu      sync.Mutex // guards matcher state and checkpoint capture
 	matcher Matcher
+	ckptMu  sync.Mutex // serializes durable checkpoint writes
 
 	applied  atomic.Uint64 // highest committed batch sequence
 	crashed  atomic.Bool
@@ -244,6 +273,13 @@ func start(cfg Config, b Backend, matcher Matcher, applied uint64) (*Server, err
 	}
 	s.applied.Store(applied)
 	s.stats.lastCheckpointed.Store(applied)
+	if cfg.CheckpointDir != "" {
+		store, err := OpenStore(cfg.FS, cfg.CheckpointDir, cfg.CheckpointKeep)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
 	if cfg.Plan != nil && !cfg.Plan.Zero() {
 		if err := cfg.Plan.Validate(); err != nil {
 			return nil, err
@@ -297,9 +333,10 @@ func (s *Server) StatsPairs() []wire.StatPair {
 }
 
 // CheckpointNow captures a checkpoint consistent with the committed
-// prefix and, if a checkpoint path is configured, durably writes it. It
-// returns the checkpoint and the number of bytes written (0 when no path
-// is configured).
+// prefix and, if a checkpoint directory is configured, durably writes it
+// as the next generation. It returns the checkpoint and the number of
+// bytes written (0 when no directory is configured). A failed write
+// counts in checkpoint_write_errors; the previous generation survives it.
 func (s *Server) CheckpointNow() (*Checkpoint, int, error) {
 	s.mu.Lock()
 	payload, err := s.matcher.MarshalCheckpoint()
@@ -318,11 +355,16 @@ func (s *Server) CheckpointNow() (*Checkpoint, int, error) {
 		Payload: payload,
 	}
 	nbytes := 0
-	if s.cfg.CheckpointPath != "" {
-		nbytes, err = WriteCheckpointFile(s.cfg.CheckpointPath, c)
+	if s.store != nil {
+		s.ckptMu.Lock()
+		gen, _, n, err := s.store.Write(c)
+		s.ckptMu.Unlock()
 		if err != nil {
+			s.stats.checkpointErrors.Add(1)
 			return nil, 0, err
 		}
+		nbytes = n
+		s.stats.checkpointGen.Store(gen)
 	}
 	s.stats.checkpoints.Add(1)
 	s.stats.lastCheckpointed.Store(applied)

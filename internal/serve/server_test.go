@@ -89,10 +89,10 @@ func TestServerStats(t *testing.T) {
 func TestCheckpointOverWire(t *testing.T) {
 	const n = 120
 	_, ups := testTrace(t, n, 8, 600, 19)
-	ckptPath := filepath.Join(t.TempDir(), "wire.ckpt")
+	ckptDir := filepath.Join(t.TempDir(), "ckpts")
 	_, addr := startServer(t, serve.Config{
 		N: n, Shards: 2, Beta: testBeta, Eps: testEps, Seed: testSeed,
-		CheckpointPath: ckptPath,
+		CheckpointDir: ckptDir,
 	})
 	c := dial(t, addr)
 	cut := len(ups) / 2
@@ -115,7 +115,7 @@ func TestCheckpointOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ck, err := serve.ReadCheckpointFile(ckptPath)
+	ck, _, err := serve.RestoreLatest(nil, ckptDir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,13 +70,18 @@ type serverStats struct {
 	batchesDuplicate atomic.Int64 // retransmits and dup-faults absorbed by seq dedup
 	batchesApplied   atomic.Int64 // batches committed by the applier
 	updatesApplied   atomic.Int64
-	insertsApplied   atomic.Int64 // inserts that changed the graph
-	deletesApplied   atomic.Int64 // deletes that changed the graph
-	faultsDropped    atomic.Int64 // batches discarded by the fault injector
-	faultsDuped      atomic.Int64 // extra deliveries injected
-	faultsDelayed    atomic.Int64 // batches held back by delay faults
-	checkpoints      atomic.Int64 // checkpoints written
+	insertsApplied   atomic.Int64  // inserts that changed the graph
+	deletesApplied   atomic.Int64  // deletes that changed the graph
+	faultsDropped    atomic.Int64  // batches discarded by the fault injector
+	faultsDuped      atomic.Int64  // extra deliveries injected
+	faultsDelayed    atomic.Int64  // batches held back by delay faults
+	checkpoints      atomic.Int64  // checkpoints written
+	checkpointErrors atomic.Int64  // durable checkpoint writes that failed
+	checkpointGen    atomic.Uint64 // newest durable checkpoint generation
 	lastCheckpointed atomic.Uint64
+	loadshedBatches  atomic.Int64 // batches refused by the admission quota
+	connsOpened      atomic.Int64 // connections accepted into the protocol loop
+	connsEvicted     atomic.Int64 // connections dropped for stalling past a deadline
 	startNanos       int64
 	latency          latencyRing
 	queueHighWater   []atomic.Int64 // per shard, max observed queue depth
@@ -112,8 +117,12 @@ func (s *serverStats) pairs(applied uint64, matchSize int, nowNanos int64) []wir
 		{Name: "batches_invalid", Value: s.batchesInvalid.Load()},
 		{Name: "batches_received", Value: s.batchesReceived.Load()},
 		{Name: "checkpoint_age_batches", Value: ckptAge},
+		{Name: "checkpoint_generation", Value: int64(s.checkpointGen.Load())},
 		{Name: "checkpoint_last_seq", Value: int64(s.lastCheckpointed.Load())},
+		{Name: "checkpoint_write_errors", Value: s.checkpointErrors.Load()},
 		{Name: "checkpoints_written", Value: s.checkpoints.Load()},
+		{Name: "conns_evicted", Value: s.connsEvicted.Load()},
+		{Name: "conns_opened", Value: s.connsOpened.Load()},
 		{Name: "deletes_applied", Value: s.deletesApplied.Load()},
 		{Name: "faults_delayed", Value: s.faultsDelayed.Load()},
 		{Name: "faults_dropped", Value: s.faultsDropped.Load()},
@@ -121,6 +130,7 @@ func (s *serverStats) pairs(applied uint64, matchSize int, nowNanos int64) []wir
 		{Name: "inserts_applied", Value: s.insertsApplied.Load()},
 		{Name: "latency_p50_nanos", Value: lat[0]},
 		{Name: "latency_p99_nanos", Value: lat[1]},
+		{Name: "loadshed_batches", Value: s.loadshedBatches.Load()},
 		{Name: "matching_size", Value: int64(matchSize)},
 		{Name: "updates_applied", Value: s.updatesApplied.Load()},
 		{Name: "uptime_nanos", Value: nowNanos - s.startNanos},

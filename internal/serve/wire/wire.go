@@ -74,6 +74,10 @@ const (
 	CodeCrashed
 	CodeShuttingDown
 	CodeInternal
+	// CodeOverloaded rejects a batch shed by the server's admission quota:
+	// too many unapplied sequences are already in flight. Retryable — the
+	// client should back off and retransmit.
+	CodeOverloaded
 )
 
 // ErrBadMagic reports a frame that does not start with the protocol magic.
