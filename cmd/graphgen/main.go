@@ -4,18 +4,27 @@
 // Usage:
 //
 //	graphgen -family unitdisk -n 10000 -avgdeg 64 -seed 1 -out g.txt
+//	graphgen -family diversity4 -n 1000000 -avgdeg 256 -stream -out huge.txt
 //
 // Families: line, unitdisk, quasidisk, interval, diversity<k>
 // (e.g. diversity4), clique, er (Erdős–Rényi).
+//
+// -stream switches to the huge-graph path for the families with streaming
+// generators (diversity<k>, er): the edge multiset is streamed into the
+// chunked two-pass CSR builder, so peak memory is the CSR plus one chunk —
+// the full edge list is never materialized. The output graph is identical
+// to the materializing path for the same parameters.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/cli"
+	"repro/internal/gen"
 	"repro/internal/graph"
 )
 
@@ -25,9 +34,24 @@ func main() {
 	avgDeg := flag.Float64("avgdeg", 32, "target average degree")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "-", "output file (default stdout)")
+	streamMode := flag.Bool("stream", false,
+		"stream the generator through the chunked CSR builder (families: "+strings.Join(cli.StreamFamilies(), ", ")+")")
 	flag.Parse()
 
-	g, beta, err := cli.MakeGraph(*family, *n, *avgDeg, *seed)
+	var (
+		g    *graph.Static
+		beta int
+		err  error
+	)
+	if *streamMode {
+		var s gen.EdgeStreamer
+		s, beta, err = cli.MakeStream(*family, *n, *avgDeg, *seed)
+		if err == nil {
+			g = gen.BuildStream(s, graph.ChunkedOptions{})
+		}
+	} else {
+		g, beta, err = cli.MakeGraph(*family, *n, *avgDeg, *seed)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(2)
@@ -43,8 +67,13 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	fmt.Fprintf(w, "# family=%s n=%d m=%d beta<=%d seed=%d\n", *family, g.N(), g.M(), beta, *seed)
-	if err := graph.WriteText(w, g); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# family=%s n=%d m=%d beta<=%d seed=%d\n", *family, g.N(), g.M(), beta, *seed)
+	if err := graph.WriteText(bw, g); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}

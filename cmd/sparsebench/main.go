@@ -4,18 +4,27 @@
 // Usage:
 //
 //	sparsebench [-quick] [-seed N] [-experiment T1,T5,F2 | -list]
-//	sparsebench -format json [-benchout BENCH_matching.json]
+//	sparsebench -format json [-benchout BENCH_matching.json] [-relabel rcm]
 //	sparsebench -compare BENCH_matching.json [-tolerance 0.25]
+//	sparsebench -experiment T21 [-t21-edges 100000000] ...
 //	sparsebench [-cpuprofile cpu.out] [-memprofile mem.out] ...
 //
 // Without -experiment it runs the full suite in order. `-format json` runs
 // the matching benchmark gate instead of the tables: it measures the phase
 // engine's hot paths per worker count and sparsifier backend with
-// testing.Benchmark, plus the serving path's throughput and latency
-// (T19-serve rows, million-vertex instance), and writes a machine-readable
-// BenchReport (schema sparsematch/bench/v3) to -benchout. Parallel
-// speedups are reported only
+// testing.Benchmark, the streamed chunked-build ingest rate (T21-build
+// rows), the RCM-relabeled phase sweep (T5-phase-rcm rows), plus the
+// serving path's throughput and latency (T19-serve rows, million-vertex
+// instance), and writes a machine-readable BenchReport (schema
+// sparsematch/bench/v4) to -benchout. Parallel speedups are reported only
 // on multi-CPU machines — single-CPU runs emit null speedups ("n/a").
+//
+// `-relabel` runs the gate's T5-phase rows under a cache-locality vertex
+// ordering (none | degree | bfs | rcm); the setting is recorded in the
+// report and -compare refuses to judge across different orderings.
+// `-t21-edges` overrides the T21 huge-graph arc target (default 2·10⁶
+// quick, 10⁸ full) — the headline run is
+// `sparsebench -experiment T21 -t21-edges 100000000`.
 //
 // `-compare FILE` is the regression gate: it runs the same benchmark and
 // compares each row's ns/op and allocs/op against the committed report in
@@ -39,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/harness"
 )
 
@@ -53,7 +63,17 @@ func main() {
 	tolerance := flag.Float64("tolerance", harness.DefaultBenchTolerance, "fractional slowdown forgiven by -compare before failing")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	relabel := flag.String("relabel", "none",
+		"cache-locality vertex relabeling for the bench gate's phase rows: none | degree | bfs | rcm")
+	hugeEdges := flag.Int64("t21-edges", 0,
+		"override the T21 huge-graph arc target (0 = mode default: 2e6 quick, 1e8 full)")
 	flag.Parse()
+
+	ordering, err := graph.ParseOrdering(*relabel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparsebench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -90,7 +110,7 @@ func main() {
 		}()
 	}
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Relabel: ordering, HugeEdges: *hugeEdges}
 
 	if *compare != "" {
 		code := runCompare(cfg, *compare, *tolerance)
@@ -123,8 +143,12 @@ func main() {
 			if r.SpeedupVs1W != nil {
 				speedup = fmt.Sprintf("%.2fx", *r.SpeedupVs1W)
 			}
-			fmt.Printf("  %-12s %-7s w=%d  %12d ns/op  %4d allocs/op  speedup %-6s |M|=%d\n",
-				r.Experiment, r.Backend, r.Workers, r.NsPerOp, r.AllocsPerOp, speedup, r.MatchSize)
+			extra := ""
+			if r.EdgesPerSec > 0 {
+				extra = fmt.Sprintf("  %.1f Medges/s", r.EdgesPerSec/1e6)
+			}
+			fmt.Printf("  %-12s %-7s w=%d  %12d ns/op  %4d allocs/op  speedup %-6s |M|=%d%s\n",
+				r.Experiment, r.Backend, r.Workers, r.NsPerOp, r.AllocsPerOp, speedup, r.MatchSize, extra)
 		}
 		return
 	}

@@ -93,17 +93,38 @@ func TestConcat(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	good := []uint64{Pack(0, 1), Pack(1, 2)}
-	if err := Validate(good, 3); err != nil {
-		t.Errorf("valid keys rejected: %v", err)
+	const n = 3
+	cases := []struct {
+		name string
+		key  uint64
+		ok   bool
+	}{
+		{"min canonical", Pack(0, 1), true},
+		{"max in-range", Pack(n-2, n-1), true},
+		{"non-canonical order", uint64(2)<<32 | 1, false},
+		{"self-loop", uint64(1)<<32 | 1, false},
+		{"self-loop at zero", 0, false},
+		{"v == n", Pack(0, n), false},
+		{"u == n (both high)", uint64(n)<<32 | uint64(n+1), false},
+		{"u in range, v wild", uint64(1)<<32 | 0x7fffffff, false},
+		{"u ≥ 2³¹ unpacks negative", uint64(0x80000000)<<32 | 0x80000001, false},
+		{"v ≥ 2³¹ unpacks negative", uint64(1)<<32 | 0xffffffff, false},
 	}
-	if err := Validate([]uint64{uint64(2)<<32 | 1}, 3); err == nil {
-		t.Error("non-canonical (2,1) accepted")
+	for _, c := range cases {
+		err := Validate([]uint64{c.key}, n)
+		if c.ok && err != nil {
+			t.Errorf("%s: valid key rejected: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid key %#x accepted", c.name, c.key)
+		}
 	}
-	if err := Validate([]uint64{uint64(1)<<32 | 1}, 3); err == nil {
-		t.Error("self-loop (1,1) accepted")
+	if err := Validate(nil, 0); err != nil {
+		t.Errorf("empty key set rejected: %v", err)
 	}
-	if err := Validate([]uint64{Pack(0, 5)}, 3); err == nil {
-		t.Error("out-of-range endpoint accepted")
+	// Error reports the first offending index.
+	err := Validate([]uint64{Pack(0, 1), Pack(0, n)}, n)
+	if err == nil {
+		t.Fatal("out-of-range endpoint accepted")
 	}
 }

@@ -65,6 +65,43 @@ func Families() []string {
 	return []string{"line", "unitdisk", "quasidisk", "interval", "diversity<k>", "clique", "er"}
 }
 
+// MakeStream returns a chunk-emitting arc streamer for the named family —
+// the huge-graph path: the instance is never materialized as an edge list,
+// only streamed into the chunked CSR builder (or to disk). It returns the
+// streamer and the certified β bound (n for families without a certificate).
+//
+// Streaming families: diversity<k>, er. The streamed edge multiset is
+// exactly what MakeGraph would build for the same parameters.
+func MakeStream(family string, n int, avgDeg float64, seed uint64) (gen.EdgeStreamer, int, error) {
+	if n < 1 {
+		return nil, 0, fmt.Errorf("cli: need n >= 1, got %d", n)
+	}
+	if avgDeg <= 0 {
+		return nil, 0, fmt.Errorf("cli: need avgdeg > 0, got %v", avgDeg)
+	}
+	switch {
+	case family == "er":
+		p := avgDeg / float64(max(1, n-1))
+		if p > 1 {
+			p = 1
+		}
+		return gen.NewGnpStream(n, p, seed), n, nil
+	case strings.HasPrefix(family, "diversity"):
+		k, err := strconv.Atoi(strings.TrimPrefix(family, "diversity"))
+		if err != nil || k < 1 {
+			return nil, 0, fmt.Errorf("cli: bad diversity family %q", family)
+		}
+		return gen.NewDiversityStreamAvgDeg(n, k, avgDeg, seed), k, nil
+	default:
+		return nil, 0, fmt.Errorf("cli: family %q has no streaming generator (want diversity<k>, er)", family)
+	}
+}
+
+// StreamFamilies lists the families MakeStream accepts, for help output.
+func StreamFamilies() []string {
+	return []string{"diversity<k>", "er"}
+}
+
 // Matcher is a named matching algorithm usable from the CLI.
 type Matcher struct {
 	Name string

@@ -21,6 +21,24 @@ import (
 // dense for large cliqueSize while β stays at most k — exactly the
 // "possibly dense graphs with small β" regime the paper targets.
 func BoundedDiversity(n, k, cliqueSize int, seed uint64) *graph.Static {
+	members := diversityMembers(n, k, cliqueSize, seed)
+	b := graph.NewBuilder(n)
+	for _, mem := range members {
+		for i := 0; i < len(mem); i++ {
+			for j := i + 1; j < len(mem); j++ {
+				b.AddEdge(mem[i], mem[j])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// diversityMembers assigns each of n vertices to k cliques chosen uniformly
+// at random among n·k/cliqueSize cliques, returning the member list of each
+// clique (sorted ascending — vertices are assigned in id order). This is the
+// shared randomness of BoundedDiversity and DiversityStream: both consume
+// the RNG identically, so for equal parameters they describe the same graph.
+func diversityMembers(n, k, cliqueSize int, seed uint64) [][]int32 {
 	if k < 1 || cliqueSize < 2 {
 		invariant.Violatef("gen: BoundedDiversity needs k >= 1, cliqueSize >= 2 (got %d, %d)", k, cliqueSize)
 	}
@@ -45,15 +63,7 @@ func BoundedDiversity(n, k, cliqueSize int, seed uint64) *graph.Static {
 			members[c] = append(members[c], v)
 		}
 	}
-	b := graph.NewBuilder(n)
-	for _, mem := range members {
-		for i := 0; i < len(mem); i++ {
-			for j := i + 1; j < len(mem); j++ {
-				b.AddEdge(mem[i], mem[j])
-			}
-		}
-	}
-	return b.Build()
+	return members
 }
 
 // BoundedDiversityInstance returns a bounded-diversity instance with

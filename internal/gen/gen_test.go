@@ -259,3 +259,28 @@ func TestGeneratorsQuickValidity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPairCursorMatchesPairFromIndex pins the incremental row cursor to the
+// reference from-zero mapping on every index, plus sparse jumps of the kind
+// the geometric-skipping walks produce.
+func TestPairCursorMatchesPairFromIndex(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 50} {
+		cur := newPairCursor(n)
+		total := int64(n) * int64(n-1) / 2
+		for idx := int64(0); idx < total; idx++ {
+			cu, cv := cur.pair(idx)
+			fu, fv := pairFromIndex(idx, n)
+			if cu != fu || cv != fv {
+				t.Fatalf("n=%d idx=%d: cursor (%d,%d), reference (%d,%d)", n, idx, cu, cv, fu, fv)
+			}
+		}
+	}
+	cur := newPairCursor(100)
+	for _, idx := range []int64{0, 5, 5, 98, 99, 500, 4949} {
+		cu, cv := cur.pair(idx)
+		fu, fv := pairFromIndex(idx, 100)
+		if cu != fu || cv != fv {
+			t.Fatalf("jump idx=%d: cursor (%d,%d), reference (%d,%d)", idx, cu, cv, fu, fv)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/arcs"
+	"repro/internal/graph"
+	"repro/internal/invariant"
+)
+
+// Streaming generators.
+//
+// A 10⁸-edge instance is 800 MB as a packed edge list — materializing it
+// just to hand it to the CSR builder doubles peak memory for no reason. An
+// EdgeStreamer instead emits the edge multiset in bounded chunks, and
+// graph.FromStream replays it twice (count pass, fill pass) to build the CSR
+// with peak memory O(CSR) + one chunk. Each streamer here emits the *exact*
+// edge multiset of its materializing counterpart for the same parameters and
+// seed (pinned by tests), so streamed instances are interchangeable with the
+// catalog the experiments already certify.
+
+// EdgeStreamer emits a graph's packed arcs (arcs.Pack encoding) in bounded
+// chunks. Implementations must be deterministic and re-invokable: every
+// StreamInto call emits the identical arc multiset (chunk boundaries may
+// differ), which is what lets graph.FromStream run its two passes.
+type EdgeStreamer interface {
+	// N returns the number of vertices.
+	N() int
+	// StreamInto invokes yield with successive chunks of packed arcs. The
+	// chunk slice is reused between yields — callers must not retain it.
+	StreamInto(yield func(chunk []uint64))
+}
+
+// DefaultStreamChunk is the default arcs-per-chunk (8 MB of packed arcs).
+const DefaultStreamChunk = 1 << 20
+
+// BuildStream constructs the streamed graph via chunked two-pass CSR
+// assembly, never materializing the full edge list.
+func BuildStream(s EdgeStreamer, opt graph.ChunkedOptions) *graph.Static {
+	return graph.FromStream(s.N(), opt, s.StreamInto)
+}
+
+// chunkEmitter batches packed arcs into fixed-capacity chunks for yield.
+type chunkEmitter struct {
+	buf   []uint64
+	yield func([]uint64)
+}
+
+func newChunkEmitter(chunk int, yield func([]uint64)) *chunkEmitter {
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	return &chunkEmitter{buf: make([]uint64, 0, chunk), yield: yield}
+}
+
+func (e *chunkEmitter) add(k uint64) {
+	e.buf = append(e.buf, k)
+	if len(e.buf) == cap(e.buf) {
+		e.flush()
+	}
+}
+
+func (e *chunkEmitter) flush() {
+	if len(e.buf) > 0 {
+		e.yield(e.buf)
+		e.buf = e.buf[:0]
+	}
+}
+
+// DiversityStream streams the exact edge multiset of
+// BoundedDiversity(n, k, cliqueSize, seed): the clique membership assignment
+// (O(n·k) memory — the only state kept) is computed once with the identical
+// RNG consumption, and StreamInto walks the cliques emitting pair arcs.
+// Duplicate arcs (pairs sharing several cliques) are emitted as-is; the
+// chunked builder dedups them, exactly as Builder.Build does for the
+// materialized generator.
+type DiversityStream struct {
+	n       int
+	k       int
+	members [][]int32
+	// ChunkSize overrides the arcs-per-chunk (0 selects DefaultStreamChunk).
+	ChunkSize int
+}
+
+// NewDiversityStream returns a streamer for the bounded-diversity family
+// with certified β ≤ k. Parameters mirror BoundedDiversity.
+func NewDiversityStream(n, k, cliqueSize int, seed uint64) *DiversityStream {
+	return &DiversityStream{n: n, k: k, members: diversityMembers(n, k, cliqueSize, seed)}
+}
+
+// NewDiversityStreamAvgDeg sizes the cliques for average degree roughly
+// avgDeg, mirroring BoundedDiversityInstance.
+func NewDiversityStreamAvgDeg(n, k int, avgDeg float64, seed uint64) *DiversityStream {
+	cliqueSize := int(avgDeg) / k
+	if cliqueSize < 2 {
+		cliqueSize = 2
+	}
+	return NewDiversityStream(n, k, cliqueSize, seed)
+}
+
+// N returns the number of vertices.
+func (s *DiversityStream) N() int { return s.n }
+
+// Beta returns the certified neighborhood-independence bound k.
+func (s *DiversityStream) Beta() int { return s.k }
+
+// ArcsUpperBound returns the number of arcs StreamInto emits (duplicates
+// included) — Σ C(|clique|, 2). Useful for sizing progress and throughput.
+func (s *DiversityStream) ArcsUpperBound() int64 {
+	total := int64(0)
+	for _, mem := range s.members {
+		c := int64(len(mem))
+		total += c * (c - 1) / 2
+	}
+	return total
+}
+
+// StreamInto emits every within-clique pair, clique by clique.
+func (s *DiversityStream) StreamInto(yield func(chunk []uint64)) {
+	em := newChunkEmitter(s.ChunkSize, yield)
+	for _, mem := range s.members {
+		for i := 0; i < len(mem); i++ {
+			for j := i + 1; j < len(mem); j++ {
+				// Members are sorted ascending, so the pair is canonical.
+				em.add(uint64(uint32(mem[i]))<<32 | uint64(uint32(mem[j])))
+			}
+		}
+	}
+	em.flush()
+}
+
+// GnpStream streams the exact edge set of ErdosRenyi(n, p, seed): the same
+// Batagelj–Brandes geometric-skipping walk over the C(n,2) row-major pairs,
+// drawing from a fresh identically-seeded RNG on every invocation, so the
+// two FromStream passes see the same edges. Memory is O(1) beyond the chunk.
+type GnpStream struct {
+	n    int
+	p    float64
+	seed uint64
+	// ChunkSize overrides the arcs-per-chunk (0 selects DefaultStreamChunk).
+	ChunkSize int
+}
+
+// NewGnpStream returns a streamer for G(n, p).
+func NewGnpStream(n int, p float64, seed uint64) *GnpStream {
+	if p < 0 || p > 1 {
+		invariant.Violatef("gen: probability %v out of [0,1]", p)
+	}
+	return &GnpStream{n: n, p: p, seed: seed}
+}
+
+// N returns the number of vertices.
+func (s *GnpStream) N() int { return s.n }
+
+// ArcsUpperBound returns p·C(n,2) rounded up — the expected stream length.
+func (s *GnpStream) ArcsUpperBound() int64 {
+	total := float64(s.n) * float64(s.n-1) / 2
+	return int64(math.Ceil(s.p * total))
+}
+
+// StreamInto walks the pair space with geometric gaps (the ErdosRenyi loop)
+// and emits each present edge once, in row-major order.
+func (s *GnpStream) StreamInto(yield func(chunk []uint64)) {
+	if s.p == 0 || s.n < 2 {
+		return
+	}
+	em := newChunkEmitter(s.ChunkSize, yield)
+	if s.p == 1 {
+		// All pairs, row-major — the edge set of Clique(n).
+		for u := int32(0); u < int32(s.n); u++ {
+			for v := u + 1; v < int32(s.n); v++ {
+				em.add(arcs.Pack(u, v))
+			}
+		}
+		em.flush()
+		return
+	}
+	r := rng(s.seed)
+	total := int64(s.n) * int64(s.n-1) / 2
+	at := int64(-1)
+	cur := newPairCursor(s.n)
+	for {
+		gap := int64(1)
+		u := r.Float64()
+		if u > 0 {
+			gap = int64(math.Log(u) / math.Log(1-s.p))
+			if gap < 0 {
+				gap = 0
+			}
+			gap++
+		}
+		at += gap
+		if at >= total {
+			break
+		}
+		u32, v32 := cur.pair(at)
+		em.add(arcs.Pack(u32, v32))
+	}
+	em.flush()
+}

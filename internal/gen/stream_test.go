@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDiversityStreamMatchesMaterialized(t *testing.T) {
+	cases := []struct {
+		n, k, cliqueSize int
+		seed             uint64
+	}{
+		{100, 2, 8, 1},
+		{500, 4, 16, 2},
+		{50, 3, 60, 3}, // cliqueSize > n/k: single-clique edge case
+		{1, 1, 2, 4},
+		{0, 1, 2, 5},
+	}
+	for _, c := range cases {
+		s := NewDiversityStream(c.n, c.k, c.cliqueSize, c.seed)
+		s.ChunkSize = 64 // force many chunks
+		want := BoundedDiversity(c.n, c.k, c.cliqueSize, c.seed)
+		got := BuildStream(s, graph.ChunkedOptions{})
+		if !graph.Equal(got, want) {
+			t.Fatalf("n=%d k=%d cs=%d: streamed graph differs from materialized", c.n, c.k, c.cliqueSize)
+		}
+		// ArcsUpperBound counts emitted arcs exactly.
+		emitted := int64(0)
+		s.StreamInto(func(chunk []uint64) { emitted += int64(len(chunk)) })
+		if emitted != s.ArcsUpperBound() {
+			t.Fatalf("n=%d k=%d: emitted %d arcs, ArcsUpperBound says %d", c.n, c.k, emitted, s.ArcsUpperBound())
+		}
+	}
+}
+
+func TestGnpStreamMatchesMaterialized(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		seed uint64
+	}{
+		{100, 0.1, 1},
+		{200, 0.03, 2},
+		{30, 1, 3},
+		{30, 0, 4},
+		{1, 0.5, 5},
+		{0, 0.5, 6},
+		{50, 0.9, 7},
+	}
+	for _, c := range cases {
+		s := NewGnpStream(c.n, c.p, c.seed)
+		s.ChunkSize = 32
+		want := ErdosRenyi(c.n, c.p, c.seed)
+		got := BuildStream(s, graph.ChunkedOptions{})
+		if !graph.Equal(got, want) {
+			t.Fatalf("n=%d p=%v: streamed graph differs from materialized", c.n, c.p)
+		}
+	}
+}
+
+func TestStreamReinvokable(t *testing.T) {
+	// Two invocations of the same streamer must emit identical sequences —
+	// the contract graph.FromStream's two passes rely on.
+	streams := []EdgeStreamer{
+		NewDiversityStream(300, 4, 16, 42),
+		NewGnpStream(300, 0.05, 42),
+	}
+	for _, s := range streams {
+		collect := func() []uint64 {
+			var all []uint64
+			s.StreamInto(func(chunk []uint64) { all = append(all, chunk...) })
+			return all
+		}
+		a, b := collect(), collect()
+		if len(a) != len(b) {
+			t.Fatalf("%T: invocations emitted %d vs %d arcs", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%T: arc %d differs between invocations", s, i)
+			}
+		}
+	}
+}
+
+func TestGnpStreamRejectsBadP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v accepted", p)
+				}
+			}()
+			NewGnpStream(10, p, 1)
+		}()
+	}
+}

@@ -245,24 +245,18 @@ func FromEdges(n int, edges []Edge) *Static {
 // FromPackedArcs builds a Static graph on n vertices from canonical packed
 // arcs (smaller endpoint in the high 32 bits, as produced by arcs.Pack).
 // Duplicates and self-loops are dropped; keys is not modified. Endpoints
-// must be in range — panics otherwise (detected during CSR assembly).
+// must be in range — panics otherwise.
 //
-// This is the single-sort construction shared by every sparsifier build:
-// both directed arcs of every key are materialized up front and radix-sorted
-// once, instead of sorting the canonical keys for deduplication and then the
-// directed arcs again.
+// It is the one-chunk case of ChunkedBuilder: two-pass count-then-fill
+// bucket placement keyed on the owning endpoint, then per-window sort and
+// dedup. Compared with materializing and radix-sorting both orientations,
+// peak scratch memory drops from 2× the edge list to the CSR itself.
 func FromPackedArcs(n int, keys []uint64) *Static {
-	dir := make([]uint64, 0, 2*len(keys))
-	for _, k := range keys {
-		u, v := k>>32, k&0xffffffff
-		if u == v {
-			continue
-		}
-		dir = append(dir, k, v<<32|u)
-	}
-	radixSortUint64(dir)
-	dir = slices.Compact(dir)
-	return fromSortedDirectedArcs(n, dir)
+	b := NewChunkedBuilder(n, ChunkedOptions{Workers: 1})
+	b.CountChunk(keys)
+	b.FinishCounts()
+	b.FillChunk(keys)
+	return b.Build()
 }
 
 // FromSortedArcs builds a Static graph from canonical packed arcs that are

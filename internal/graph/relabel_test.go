@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func randomGraph(t *testing.T, n, m int, seed uint64) *Static {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0x7e1ab))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.IntN(n)), int32(rng.IntN(n)))
+	}
+	return b.Build()
+}
+
+func TestParseOrdering(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Ordering
+		err  bool
+	}{
+		{"", OrderIdentity, false},
+		{"none", OrderIdentity, false},
+		{"identity", OrderIdentity, false},
+		{"degree", OrderDegree, false},
+		{"bfs", OrderBFS, false},
+		{"rcm", OrderRCM, false},
+		{"DEGREE", OrderIdentity, true},
+		{"hilbert", OrderIdentity, true},
+	}
+	for _, c := range cases {
+		got, err := ParseOrdering(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseOrdering(%q) error = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseOrdering(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, o := range append([]Ordering{OrderIdentity}, Orderings()...) {
+		back, err := ParseOrdering(o.String())
+		if err != nil || back != o {
+			t.Errorf("round-trip %v: got %v, err %v", o, back, err)
+		}
+	}
+}
+
+// checkIsomorphic verifies rg = perm(g): degrees map through perm and every
+// edge {u,v} of g appears as {perm[u],perm[v]} in rg (and the counts match,
+// so the edge sets are equal).
+func checkIsomorphic(t *testing.T, g, rg *Static, perm []int32) {
+	t.Helper()
+	if rg.N() != g.N() || rg.M() != g.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", g.N(), g.M(), rg.N(), rg.M())
+	}
+	if err := rg.Validate(); err != nil {
+		t.Fatalf("relabeled graph invalid: %v", err)
+	}
+	if rg.MaxDegree() != g.MaxDegree() {
+		t.Fatalf("max degree changed: %d vs %d", g.MaxDegree(), rg.MaxDegree())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if rg.Degree(perm[v]) != g.Degree(v) {
+			t.Fatalf("degree of %d (new %d) changed: %d vs %d", v, perm[v], g.Degree(v), rg.Degree(perm[v]))
+		}
+	}
+	g.ForEachEdge(func(u, v int32) {
+		if !rg.HasEdge(perm[u], perm[v]) {
+			t.Fatalf("edge (%d,%d) missing as (%d,%d) after relabel", u, v, perm[u], perm[v])
+		}
+	})
+}
+
+func TestRelabelOrderings(t *testing.T) {
+	graphs := map[string]*Static{
+		"empty":    Empty(0),
+		"isolated": Empty(7),
+		"random":   randomGraph(t, 200, 900, 1),
+		"sparse":   randomGraph(t, 500, 400, 2), // multiple components
+		"path": func() *Static {
+			b := NewBuilder(50)
+			for i := int32(0); i < 49; i++ {
+				b.AddEdge(i, i+1)
+			}
+			return b.Build()
+		}(),
+	}
+	for name, g := range graphs {
+		for _, o := range append([]Ordering{OrderIdentity}, Orderings()...) {
+			rg, perm, inv := Relabel(g, o)
+			if len(perm) != g.N() || len(inv) != g.N() {
+				t.Fatalf("%s/%v: perm/inv length mismatch", name, o)
+			}
+			for v := range perm {
+				if inv[perm[v]] != int32(v) {
+					t.Fatalf("%s/%v: inv[perm[%d]] = %d", name, o, v, inv[perm[v]])
+				}
+			}
+			if o == OrderIdentity {
+				if rg != g {
+					t.Fatalf("%s: identity relabel must return the same graph", name)
+				}
+				continue
+			}
+			checkIsomorphic(t, g, rg, perm)
+
+			// Deterministic: recomputing gives the identical permutation.
+			perm2 := ComputeOrdering(g, o)
+			if !slices.Equal(perm, perm2) {
+				t.Fatalf("%s/%v: ordering not deterministic", name, o)
+			}
+		}
+	}
+}
+
+func TestDegreeOrderingSorted(t *testing.T) {
+	g := randomGraph(t, 300, 2000, 3)
+	_, perm, inv := Relabel(g, OrderDegree)
+	prev := int(^uint(0) >> 1)
+	for nu := 0; nu < g.N(); nu++ {
+		d := g.Degree(inv[nu])
+		if d > prev {
+			t.Fatalf("degrees not descending at new id %d: %d after %d", nu, d, prev)
+		}
+		if d == prev && nu > 0 && inv[nu] < inv[nu-1] {
+			t.Fatalf("degree tie not broken by original id at new id %d", nu)
+		}
+		prev = d
+	}
+	_ = perm
+}
+
+func TestOrigScanOrder(t *testing.T) {
+	g := randomGraph(t, 120, 700, 4)
+	for _, o := range Orderings() {
+		rg, perm, inv := Relabel(g, o)
+		scan := OrigScanOrder(rg, inv)
+		if len(scan) != 2*rg.M() {
+			t.Fatalf("scan length %d, want %d", len(scan), 2*rg.M())
+		}
+		// Scanning v's list through the scan permutation must visit exactly
+		// the original sorted adjacency of the original vertex.
+		for v := int32(0); v < int32(g.N()); v++ {
+			nv := perm[v]
+			adj := rg.Neighbors(nv)
+			off := rg.AdjOffset(nv)
+			got := make([]int32, len(adj))
+			for i := range adj {
+				got[i] = inv[adj[scan[off+int64(i)]]]
+			}
+			if !slices.Equal(got, g.Neighbors(v)) {
+				t.Fatalf("%v: scan order of vertex %d visits %v, want %v", o, v, got, g.Neighbors(v))
+			}
+		}
+	}
+}
+
+func TestRelabelPermBadPerm(t *testing.T) {
+	g := randomGraph(t, 10, 20, 5)
+	bad := [][]int32{
+		{0, 1, 2},                       // wrong length
+		{0, 0, 1, 2, 3, 4, 5, 6, 7, 8},  // duplicate
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, // out of range
+	}
+	for i, perm := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: RelabelPerm accepted invalid perm", i)
+				}
+			}()
+			RelabelPerm(g, perm)
+		}()
+	}
+}
+
+func TestEqual(t *testing.T) {
+	g := randomGraph(t, 50, 200, 6)
+	h := randomGraph(t, 50, 200, 6)
+	if !Equal(g, h) {
+		t.Fatal("identically built graphs must be Equal")
+	}
+	if !Equal(g, g) {
+		t.Fatal("graph must equal itself")
+	}
+	if Equal(g, randomGraph(t, 50, 200, 7)) {
+		t.Fatal("different graphs reported Equal")
+	}
+	if Equal(g, Empty(50)) {
+		t.Fatal("graph equal to empty graph")
+	}
+}

@@ -16,7 +16,10 @@ import (
 
 // BenchSchema identifies the BENCH_*.json layout; bump on incompatible
 // changes so trajectory tooling can refuse files it does not understand.
-const BenchSchema = "sparsematch/bench/v3"
+// v4 adds edges_per_sec rows (T21-build streamed ingestion, phase-row edge
+// throughput), the T5-phase-rcm relabeled sweep, and the report-level
+// relabel tag.
+const BenchSchema = "sparsematch/bench/v4"
 
 // BenchResult is one measured configuration of a benchmark experiment.
 // NsPerOp/AllocsPerOp/BytesPerOp come from testing.Benchmark, so they are
@@ -51,6 +54,11 @@ type BenchResult struct {
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
 	P50LatencyNs  int64   `json:"p50_latency_ns,omitempty"`
 	P99LatencyNs  int64   `json:"p99_latency_ns,omitempty"`
+	// EdgesPerSec (schema v4) is the edge throughput of the measured
+	// operation: streamed arcs ingested per second for "T21-build" rows,
+	// sparsifier edges per phase-schedule second for the phase sweeps.
+	// Zero where the notion does not apply.
+	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark gate emitted by
@@ -58,14 +66,18 @@ type BenchResult struct {
 // judged against. The machine block (NumCPU, GoMaxProcs, GoVersion, GoArch)
 // is part of the record because speedup rows are meaningless without it.
 type BenchReport struct {
-	Schema     string        `json:"schema"`
-	Seed       uint64        `json:"seed"`
-	Quick      bool          `json:"quick"`
-	NumCPU     int           `json:"num_cpu"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	GoVersion  string        `json:"go_version"`
-	GoArch     string        `json:"go_arch"`
-	Results    []BenchResult `json:"results"`
+	Schema     string `json:"schema"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GoArch     string `json:"go_arch"`
+	// Relabel names the cache-locality vertex ordering the phase rows ran
+	// under ("" = natural layout). Part of the comparison key: reports
+	// taken under different orderings time different memory layouts.
+	Relabel string        `json:"relabel,omitempty"`
+	Results []BenchResult `json:"results"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -88,6 +100,11 @@ var benchWorkerCounts = []int{1, 2, 4, 8}
 //     zero-allocation steady state.
 //   - "T5-pipeline": sparsify + phase schedule end to end, per worker count.
 //   - "greedy-steady": the allocation-free engine greedy on the sparsifier.
+//   - "T5-phase-rcm": the phase schedule under RCM cache relabeling — same
+//     workload and bit-identical output as "T5-phase", different memory
+//     layout, so the two row sets track the relabeling win/loss.
+//   - "T21-build": streamed arc ingestion through the chunked two-pass CSR
+//     builder, per worker count; EdgesPerSec is arcs ingested per second.
 func MatchingBench(cfg Config) BenchReport {
 	const eps, beta = 0.3, 2
 	delta := params.Delta(beta, eps)
@@ -107,9 +124,15 @@ func MatchingBench(cfg Config) BenchReport {
 		GoVersion:  runtime.Version(),
 		GoArch:     runtime.GOARCH,
 	}
+	if cfg.Relabel != graph.OrderIdentity {
+		rep.Relabel = cfg.Relabel.String()
+	}
 
-	// T5-phase: phase schedule on the sparsifier, worker sweep.
-	rep.Results = append(rep.Results, sweepPhases("T5-phase", name, sp, eps, cfg.Seed+31)...)
+	// T5-phase: phase schedule on the sparsifier, worker sweep, under the
+	// configured relabeling (natural layout by default). T5-phase-rcm runs
+	// the identical workload under RCM so every report carries both layouts.
+	rep.Results = append(rep.Results, sweepPhases("T5-phase", name, sp, eps, cfg.Seed+31, cfg.Relabel)...)
+	rep.Results = append(rep.Results, sweepPhases("T5-phase-rcm", name, sp, eps, cfg.Seed+31, graph.OrderRCM)...)
 
 	// T5-pipeline: sparsify + phases end to end, worker sweep, one row set
 	// per registered sparsifier backend.
@@ -172,6 +195,39 @@ func MatchingBench(cfg Config) BenchReport {
 		rep.Results = append(rep.Results, rows...)
 	}
 
+	// T21-build: streamed arc ingestion through the chunked two-pass CSR
+	// builder, per worker count. The generator re-streams the identical arc
+	// multiset on every pass, so each op is a complete count+fill build.
+	{
+		bn := cfg.pick(40_000, 250_000)
+		const bk, bavg = 4, 64.0
+		s := gen.NewDiversityStreamAvgDeg(bn, bk, bavg, cfg.Seed+41)
+		arcs := s.ArcsUpperBound()
+		bname := fmt.Sprintf("diversity%d-stream/n=%d/avg=%g/arcs=%d", bk, bn, bavg, arcs)
+		var rows []BenchResult
+		for _, w := range benchWorkerCounts {
+			w := w
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					gen.BuildStream(s, graph.ChunkedOptions{Workers: w})
+				}
+			})
+			row := BenchResult{
+				Experiment: "T21-build", Instance: bname, Backend: "chunked",
+				Workers:    w,
+				Iterations: r.N, NsPerOp: r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+			}
+			if r.NsPerOp() > 0 {
+				row.EdgesPerSec = float64(arcs) / (float64(r.NsPerOp()) * 1e-9)
+			}
+			rows = append(rows, row)
+		}
+		fillSpeedups(rows)
+		rep.Results = append(rep.Results, rows...)
+	}
+
 	// T19-serve: end-to-end served update throughput and latency on the
 	// million-vertex instance, per backend and shard count.
 	rep.Results = append(rep.Results, serveBenchRows(cfg)...)
@@ -179,16 +235,18 @@ func MatchingBench(cfg Config) BenchReport {
 }
 
 // sweepPhases benchmarks the full phase schedule on g for every worker
-// count, reusing one engine and matching per count so the steady state is
+// count under the given cache relabeling (OrderIdentity = natural layout),
+// reusing one engine and matching per count so the steady state is
 // allocation-free (the row's allocs_per_op IS the per-schedule allocation
-// count after warm-up).
-func sweepPhases(id, instance string, g *graph.Static, eps float64, seed uint64) []BenchResult {
+// count after warm-up — the warm-up run also computes and caches the
+// relabeled view, which is part of the engine's steady state).
+func sweepPhases(id, instance string, g *graph.Static, eps float64, seed uint64, ord graph.Ordering) []BenchResult {
 	var rows []BenchResult
 	for _, w := range benchWorkerCounts {
 		w := w
 		var size int
 		r := testing.Benchmark(func(b *testing.B) {
-			e := matching.NewEngine(matching.Options{Workers: w})
+			e := matching.NewEngine(matching.Options{Workers: w, Relabel: ord})
 			defer e.Close()
 			m := matching.NewMatching(g.N())
 			e.PhaseStructuredApproxInto(g, m, eps, seed) // warm-up
@@ -199,12 +257,16 @@ func sweepPhases(id, instance string, g *graph.Static, eps float64, seed uint64)
 			}
 			size = m.Size()
 		})
-		rows = append(rows, BenchResult{
+		row := BenchResult{
 			Experiment: id, Instance: instance, Backend: "gdelta", Workers: w,
 			Iterations: r.N, NsPerOp: r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
 			MatchSize: size,
-		})
+		}
+		if r.NsPerOp() > 0 {
+			row.EdgesPerSec = float64(g.M()) / (float64(r.NsPerOp()) * 1e-9)
+		}
+		rows = append(rows, row)
 	}
 	fillSpeedups(rows)
 	return rows

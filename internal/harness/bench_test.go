@@ -34,7 +34,7 @@ func TestMatchingBenchQuick(t *testing.T) {
 		}
 		byExp[r.Experiment+"/"+r.Backend] = append(byExp[r.Experiment+"/"+r.Backend], r)
 	}
-	for _, exp := range []string{"T5-phase/gdelta", "T5-pipeline/gdelta", "T5-pipeline/edcs"} {
+	for _, exp := range []string{"T5-phase/gdelta", "T5-phase-rcm/gdelta", "T5-pipeline/gdelta", "T5-pipeline/edcs"} {
 		rows := byExp[exp]
 		if len(rows) != len(benchWorkerCounts) {
 			t.Fatalf("%s: %d rows, want %d", exp, len(rows), len(benchWorkerCounts))
@@ -67,9 +67,32 @@ func TestMatchingBenchQuick(t *testing.T) {
 			}
 		}
 	}
-	for _, r := range byExp["T5-phase/gdelta"] {
-		if r.AllocsPerOp != 0 {
-			t.Errorf("T5-phase w=%d: %d allocs/op in steady state, want 0", r.Workers, r.AllocsPerOp)
+	for _, exp := range []string{"T5-phase/gdelta", "T5-phase-rcm/gdelta"} {
+		for _, r := range byExp[exp] {
+			if r.AllocsPerOp != 0 {
+				t.Errorf("%s w=%d: %d allocs/op in steady state, want 0", exp, r.Workers, r.AllocsPerOp)
+			}
+			if r.EdgesPerSec <= 0 {
+				t.Errorf("%s w=%d: edges_per_sec %v not filled", exp, r.Workers, r.EdgesPerSec)
+			}
+		}
+	}
+	// Relabeling is a layout view: the RCM sweep must report the exact
+	// matching sizes of the natural-layout sweep.
+	for i, r := range byExp["T5-phase-rcm/gdelta"] {
+		if ref := byExp["T5-phase/gdelta"][i]; r.MatchSize != ref.MatchSize {
+			t.Errorf("T5-phase-rcm w=%d: |M|=%d, natural layout %d", r.Workers, r.MatchSize, ref.MatchSize)
+		}
+	}
+
+	// T21-build rows: full worker sweep with a measured ingest rate.
+	brows := byExp["T21-build/chunked"]
+	if len(brows) != len(benchWorkerCounts) {
+		t.Fatalf("T21-build: %d rows, want %d", len(brows), len(benchWorkerCounts))
+	}
+	for _, r := range brows {
+		if r.NsPerOp <= 0 || r.EdgesPerSec <= 0 {
+			t.Errorf("T21-build w=%d: unmeasured row %+v", r.Workers, r)
 		}
 	}
 	gr := byExp["greedy-steady/gdelta"]

@@ -102,6 +102,10 @@ func CompareBenchReports(base, fresh BenchReport, tolerance float64) BenchCompar
 			base.NumCPU, base.GoMaxProcs, fresh.NumCPU, fresh.GoMaxProcs)}
 	case base.Quick != fresh.Quick:
 		return BenchComparison{Why: fmt.Sprintf("mode mismatch: baseline quick=%t, this run quick=%t", base.Quick, fresh.Quick)}
+	case base.Relabel != fresh.Relabel:
+		// Different vertex orderings time different memory layouts of the
+		// same workload — a layout change is not a code regression.
+		return BenchComparison{Why: fmt.Sprintf("relabel mismatch: baseline %q, this run %q", base.Relabel, fresh.Relabel)}
 	}
 
 	cmp := BenchComparison{MachineMatch: true}

@@ -99,6 +99,11 @@ func TestCompareBenchReportsMachineMismatch(t *testing.T) {
 	if cmp := CompareBenchReports(base, quick, 0); cmp.MachineMatch {
 		t.Fatal("quick-mode mismatch not skipped")
 	}
+	relabeled := baselineReport()
+	relabeled.Relabel = "rcm"
+	if cmp := CompareBenchReports(base, relabeled, 0); cmp.MachineMatch {
+		t.Fatal("relabel mismatch not skipped: two orderings time different memory layouts")
+	}
 }
 
 func TestCompareBenchReportsRowDrift(t *testing.T) {

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestT21StreamedBuildWithinBudget asserts the T21 memory claim directly:
+// a streamed chunked build's peak live heap stays within the CSR + one
+// chunk budget, and the built graph is exactly what the materializing
+// generator produces for the same parameters.
+func TestT21StreamedBuildWithinBudget(t *testing.T) {
+	const n, k, avg = 20_000, 4, 64.0
+	s := gen.NewDiversityStreamAvgDeg(n, k, avg, 991)
+	g, st := buildStreamed(s, s.ArcsUpperBound(), 2)
+	if !st.WithinBudget() {
+		t.Fatalf("peak heap %d B exceeds budget %d B (arcs=%d chunks=%d)",
+			st.PeakHeap, st.Budget, st.Arcs, st.Chunks)
+	}
+	if st.Chunks < 1 || st.Arcs < 1 || g.M() < 1 {
+		t.Fatalf("degenerate build: %+v, m=%d", st, g.M())
+	}
+	want := gen.BoundedDiversityInstance(n, k, avg, 991).G
+	if !graph.Equal(g, want) {
+		t.Fatal("streamed build differs from the materializing generator")
+	}
+}

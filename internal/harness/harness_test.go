@@ -37,8 +37,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

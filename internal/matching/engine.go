@@ -19,6 +19,15 @@ type Options struct {
 	// discovery is a pure function of the phase-start snapshot, and the
 	// commit pass is sequential and deterministic (see Engine).
 	Workers int
+
+	// Relabel selects a cache-locality vertex reordering for the phase
+	// engine's DFS state (graph.OrderIdentity disables it). The relabeled
+	// graph is a private layout view: every order-dependent decision stays
+	// canonicalized to original-id order and results are mapped back through
+	// the inverse permutation, so the matching produced is bit-identical to
+	// the unrelabeled run — relabeling can only change speed, never output.
+	// See disjointAugmentRelabeled.
+	Relabel graph.Ordering
 }
 
 // resolved fills zero-valued fields via the unified parameter resolution.
@@ -61,6 +70,8 @@ func (o Options) resolved() Options {
 // worker pool (it is a no-op for Workers == 1 engines and idempotent).
 type Engine struct {
 	workers int
+	relabel graph.Ordering
+	rel     relView // cached relabeled layout view, keyed by (graph, ordering)
 
 	n      int      // vertex capacity the arenas are sized for
 	snap   []int32  // phase-start mate snapshot (read-only during discover)
@@ -77,7 +88,9 @@ type Engine struct {
 	pool *pool // persistent workers, started lazily; nil while sequential
 
 	// Phase-shared discovery inputs, published to the pool before release.
+	// A non-nil scan selects the original-order relabeled discovery.
 	g      *graph.Static
+	scan   []int32
 	maxLen int
 }
 
@@ -127,13 +140,16 @@ func NewEngine(opt Options) *Engine {
 	if opt.Workers < 1 {
 		invariant.Violatef("matching: Workers must be >= 1 after resolution, got %d", opt.Workers)
 	}
-	e := &Engine{workers: opt.Workers, ws: make([]searcher, opt.Workers)}
+	e := &Engine{workers: opt.Workers, relabel: opt.Relabel, ws: make([]searcher, opt.Workers)}
 	e.rng = rand.New(&e.pcg)
 	return e
 }
 
 // Workers returns the resolved worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// Relabel returns the configured locality ordering.
+func (e *Engine) Relabel() graph.Ordering { return e.relabel }
 
 // Close stops the worker pool. It is idempotent and safe on engines that
 // never went parallel.
@@ -180,6 +196,9 @@ func (e *Engine) DisjointAugment(g *graph.Static, m *Matching, maxLen int) int {
 		invariant.Violatef("matching: matching over %d vertices, graph has %d", m.N(), n)
 	}
 	e.ensure(n)
+	if e.relabel != graph.OrderIdentity {
+		return e.disjointAugmentRelabeled(g, m, maxLen)
+	}
 
 	// Snapshot the matching and collect the free vertices in ascending order.
 	e.snap = append(e.snap[:0], m.mate...)
@@ -277,7 +296,11 @@ func (e *Engine) startPool() {
 		p.start[w] = ch
 		go func(w int, ch chan struct{}) {
 			for range ch {
-				e.discover(w, e.g, e.maxLen, e.workers)
+				if e.scan != nil {
+					e.discoverOrd(w, e.g, e.scan, e.maxLen, e.workers)
+				} else {
+					e.discover(w, e.g, e.maxLen, e.workers)
+				}
 				p.wg.Done()
 			}
 		}(w, ch)

@@ -1,0 +1,211 @@
+package matching
+
+import "repro/internal/graph"
+
+// Relabeled phase execution.
+//
+// With Options.Relabel set, DisjointAugment runs its DFS against a
+// cache-locality relabeling of the graph: the snapshot, visited epochs, and
+// frozen bitset are all indexed by the relabeled ids, so on huge graphs the
+// per-vertex state the search bounces between sits in nearby cache lines.
+//
+// The contract is that relabeling NEVER changes the output — the matching is
+// bit-identical to the unrelabeled run for every worker count and ordering.
+// That holds because every order-dependent decision stays canonicalized to
+// original-id order:
+//
+//   - The free list enumerates the snapshot-free vertices in ascending
+//     ORIGINAL id (carrying their relabeled ids), so candidate indexing and
+//     the sequential commit order match the unrelabeled phase exactly.
+//   - The DFS scans each adjacency list through OrigScanOrder, visiting
+//     neighbors in ascending ORIGINAL id — the order the unrelabeled CSR's
+//     sorted lists yield natively. With identical root order and neighbor
+//     order, the depth-limited searches traverse the same logical vertex
+//     sequence and discover the same logical paths.
+//   - Committed paths are applied to the caller's matching through the
+//     inverse permutation, so the mate array never observes relabeled ids.
+//
+// The sparsifier and the greedy initialization are untouched: the sparsifier
+// runs before the engine ever relabels, and the shuffled greedy pass is
+// random-access by construction (a shuffled edge arena), so relabeling could
+// only slow it down. Relabeling therefore applies exactly where the locality
+// win lives — the phase DFS.
+
+// relView is the cached relabeled layout of one source graph: the relabeled
+// CSR, both permutations, and the original-order scan permutation shaped
+// like the neighbor array.
+type relView struct {
+	src  *graph.Static
+	ord  graph.Ordering
+	rg   *graph.Static
+	perm []int32 // perm[original] = relabeled
+	inv  []int32 // inv[relabeled] = original
+	scan []int32 // per-vertex adjacency positions in ascending original id
+}
+
+// relViewFor returns the layout view of g under the engine's ordering,
+// computing and caching it on first sight of a graph (the phase loop calls
+// DisjointAugment many times on the same graph; only the first call pays).
+func (e *Engine) relViewFor(g *graph.Static) *relView {
+	if e.rel.src == g && e.rel.ord == e.relabel {
+		return &e.rel
+	}
+	rg, perm, inv := graph.Relabel(g, e.relabel)
+	scan := graph.OrigScanOrder(rg, inv)
+	e.rel = relView{src: g, ord: e.relabel, rg: rg, perm: perm, inv: inv, scan: scan}
+	return &e.rel
+}
+
+// disjointAugmentRelabeled is DisjointAugment's discover → commit protocol
+// executed on the relabeled layout view. Size and maxLen checks and ensure
+// already ran in the caller.
+func (e *Engine) disjointAugmentRelabeled(g *graph.Static, m *Matching, maxLen int) int {
+	view := e.relViewFor(g)
+	n := g.N()
+	perm, inv := view.perm, view.inv
+
+	// Snapshot the matching translated into relabeled space
+	// (rsnap[perm[v]] = perm[mate[v]]), and collect the free vertices' new
+	// ids in ascending ORIGINAL id — the unrelabeled free-list order.
+	if cap(e.snap) < n {
+		e.snap = make([]int32, n)
+	}
+	e.snap = e.snap[:n]
+	e.free = e.free[:0]
+	for v := int32(0); v < int32(n); v++ {
+		mate := m.mate[v]
+		if mate < 0 {
+			e.snap[perm[v]] = mate
+			e.free = append(e.free, perm[v])
+		} else {
+			e.snap[perm[v]] = perm[mate]
+		}
+	}
+	if len(e.free) == 0 {
+		return 0
+	}
+	if cap(e.cands) < len(e.free) {
+		e.cands = make([]cand, len(e.free))
+	}
+	e.cands = e.cands[:len(e.free)]
+
+	// Discover on the relabeled graph, scanning adjacencies in original
+	// neighbor order via the scan permutation.
+	for w := range e.ws {
+		e.ws[w].paths = e.ws[w].paths[:0]
+	}
+	if e.workers == 1 || len(e.free) <= blockSize {
+		e.discoverOrd(0, view.rg, view.scan, maxLen, 1)
+	} else {
+		e.g, e.scan, e.maxLen = view.rg, view.scan, maxLen
+		e.run()
+		e.g, e.scan = nil, nil
+	}
+
+	// Commit, lowest ORIGINAL free endpoint first (the candidate index order),
+	// applying each path to the caller's matching through the inverse
+	// permutation. The frozen bitset lives in relabeled space, consistent
+	// with the candidate paths.
+	clear(e.frozen[:(n+63)/64])
+	augmented := 0
+	for i := range e.cands {
+		c := e.cands[i]
+		if c.n == 0 {
+			continue
+		}
+		p := e.ws[c.worker].paths[c.off : c.off+c.n]
+		ok := true
+		for _, x := range p {
+			if e.frozen[uint32(x)>>6]&(1<<(uint32(x)&63)) != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		applyPathInv(m, p, inv)
+		for _, x := range p {
+			e.frozen[uint32(x)>>6] |= 1 << (uint32(x) & 63)
+		}
+		augmented++
+	}
+	return augmented
+}
+
+// discoverOrd is discover with the original-order scan permutation: the same
+// round-robin block sharding, searching via searchOrd.
+func (e *Engine) discoverOrd(w int, g *graph.Static, scan []int32, maxLen, stride int) {
+	s := &e.ws[w]
+	mates := e.snap
+	for b := w * blockSize; b < len(e.free); b += stride * blockSize {
+		hi := min(b+blockSize, len(e.free))
+		for i := b; i < hi; i++ {
+			off, ln := s.searchOrd(g, scan, mates, e.free[i], maxLen)
+			e.cands[i] = cand{worker: int32(w), off: off, n: ln}
+		}
+	}
+}
+
+// searchOrd is search with indirected neighbor access: position i of v's
+// scan window names the adjacency slot holding v's i-th neighbor in
+// ascending original id. Everything else — visited epochs, stack discipline,
+// path recording — is identical to search.
+func (s *searcher) searchOrd(g *graph.Static, scan []int32, mates []int32, root int32, maxLen int) (off, ln int32) {
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap after 2^32 searches: hard-reset the marks
+		clear(s.visited)
+		s.epoch = 1
+	}
+	vis, ep := s.visited, s.epoch
+	vis[root] = ep
+	st := s.stack[:0]
+	st = append(st, frame{v: root, depth: int32(min(maxLen, 1<<30))})
+	base := int32(len(s.paths))
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		adj := g.Neighbors(f.v)
+		ord := scan[g.AdjOffset(f.v):]
+		descended := false
+		for int(f.ni) < len(adj) {
+			w := adj[ord[f.ni]]
+			f.ni++
+			if vis[w] == ep {
+				continue
+			}
+			mate := mates[w]
+			if mate < 0 {
+				f.w = w
+				for i := range st {
+					s.paths = append(s.paths, st[i].v, st[i].w)
+				}
+				s.stack = st
+				return base, int32(len(s.paths)) - base
+			}
+			if f.depth >= 2 && vis[mate] != ep {
+				vis[w] = ep
+				vis[mate] = ep
+				f.w = w
+				st = append(st, frame{v: mate, depth: f.depth - 2})
+				descended = true
+				break
+			}
+		}
+		if !descended {
+			st = st[:len(st)-1]
+		}
+	}
+	s.stack = st
+	return base, 0
+}
+
+// applyPathInv is applyPath through the inverse permutation: the path is in
+// relabeled ids, the matching in original ids.
+func applyPathInv(m *Matching, p []int32, inv []int32) {
+	for j := 1; j+1 < len(p); j += 2 {
+		m.Unmatch(inv[p[j]])
+	}
+	for j := 0; j+1 < len(p); j += 2 {
+		m.Match(inv[p[j]], inv[p[j+1]])
+	}
+}

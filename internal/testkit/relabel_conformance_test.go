@@ -1,0 +1,71 @@
+package testkit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/params"
+)
+
+// TestRelabelConformance pins the cache-aware relabeling contract end to
+// end: on every certified conformance family, for both sparsifier backends,
+// every ordering, and workers ∈ {1, 2, 8}, the full pipeline (backend
+// sparsify → shuffled greedy → phase schedule to fixpoint) with relabeling
+// enabled must produce a matching bit-identical (mate-for-mate) to the
+// unrelabeled sequential run. Relabeling is a layout view — it may only
+// change speed, never a single mate.
+func TestRelabelConformance(t *testing.T) {
+	const eps = 0.3
+	n, seeds := conformanceScale(t)
+	workerCounts := []int{1, 2, 8}
+	maxLen := params.AugLen(eps)
+	for _, fam := range ConformanceFamilies(192) {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				inst := fam.Make(n, 4400+seed)
+				for _, backend := range core.Backends(1) {
+					sp := backend.Sparsify(inst.G, inst.Beta, eps, 7700+seed)
+
+					// Unrelabeled sequential reference.
+					ref := matching.NewMatching(sp.N())
+					refEng := matching.NewEngine(matching.Options{Workers: 1})
+					refEng.GreedyShuffledInto(sp, ref, 6600+seed)
+					for L := 1; L <= maxLen; L += 2 {
+						for refEng.DisjointAugment(sp, ref, L) > 0 {
+						}
+					}
+					refEng.Close()
+					refMates := ref.MatesInto(nil)
+
+					for _, ord := range graph.Orderings() {
+						for _, w := range workerCounts {
+							e := matching.NewEngine(matching.Options{Workers: w, Relabel: ord})
+							m := matching.NewMatching(sp.N())
+							e.GreedyShuffledInto(sp, m, 6600+seed)
+							for L := 1; L <= maxLen; L += 2 {
+								for e.DisjointAugment(sp, m, L) > 0 {
+								}
+							}
+							e.Close()
+							if err := matching.Verify(sp, m); err != nil {
+								t.Fatalf("%s/%s/%v/w%d seed %d: invalid matching: %v",
+									fam.Name, backend.Name(), ord, w, seed, err)
+							}
+							mates := m.MatesInto(nil)
+							for v := range mates {
+								if mates[v] != refMates[v] {
+									t.Fatalf("%s/%s/%v/w%d seed %d: mate[%d] = %d, unrelabeled %d (relabeling changed the output)",
+										fam.Name, backend.Name(), ord, w, seed, v, mates[v], refMates[v])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
