@@ -1,21 +1,30 @@
 // Command sparselint runs the project's static-analysis checks (see
-// internal/lint) over the module: determinism, noalloc, panicdiscipline,
-// errwrap. It is pure stdlib and loads packages from source, so it needs no
-// build step and no external modules.
+// internal/lint) over the module: determinism, noalloc, noallocdeep,
+// panicdiscipline, errwrap, decodebound, guardedby. It is pure stdlib and
+// loads packages from source, so it needs no build step and no external
+// modules.
 //
 // Usage:
 //
-//	sparselint [-json] [patterns]
+//	sparselint [-json] [-checks list] [-baseline file] [-write-baseline file] [patterns]
 //
 // Patterns follow the go tool's shape: "./..." (the default) lints every
 // package of the enclosing module, "./internal/graph/..." lints a subtree,
 // and a plain directory lints that one package. Exit status is 0 for a clean
 // tree, 1 when findings are reported, and 2 on load or usage errors.
 //
-// With -json, findings are emitted as a single JSON document with the stable
-// schema version "sparselint/v1":
+// -checks selects a comma-separated subset of the catalog ("noalloc,guardedby");
+// naming an unknown check is a usage error. -baseline loads a committed
+// baseline of accepted findings and fails only on findings not in it, so a
+// new check can land with pre-existing debt recorded instead of blocking CI.
+// -write-baseline records the current findings as that baseline and exits 0.
 //
-//	{"version":"sparselint/v1","count":N,"diagnostics":[{"check":...,"file":...,"line":...,"col":...,"message":...}]}
+// With -json, findings are emitted as a single JSON document with the stable
+// schema version "sparselint/v2":
+//
+//	{"version":"sparselint/v2","count":N,
+//	 "checks":[{"name":...,"severity":...,"doc":...}],
+//	 "diagnostics":[{"check":...,"severity":...,"file":...,"line":...,"col":...,"message":...}]}
 package main
 
 import (
@@ -30,15 +39,25 @@ import (
 	"repro/internal/lint"
 )
 
-// Report is the -json output document (schema sparselint/v1).
+// Report is the -json output document (schema sparselint/v2).
 type Report struct {
-	Version     string            `json:"version"`
-	Count       int               `json:"count"`
+	Version string `json:"version"`
+	Count   int    `json:"count"`
+	// Checks lists the checks this run executed, with their severities —
+	// consumers can tell a clean run of two checks from a clean run of all.
+	Checks      []CheckInfo       `json:"checks"`
 	Diagnostics []lint.Diagnostic `json:"diagnostics"`
 }
 
+// CheckInfo describes one executed check in the report header.
+type CheckInfo struct {
+	Name     string `json:"name"`
+	Severity string `json:"severity"`
+	Doc      string `json:"doc"`
+}
+
 // SchemaVersion identifies the -json output schema.
-const SchemaVersion = "sparselint/v1"
+const SchemaVersion = "sparselint/v2"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -49,16 +68,39 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparselint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a sparselint/v1 JSON document")
+	jsonOut := fs.Bool("json", false, "emit findings as a sparselint/v2 JSON document")
+	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	baselinePath := fs.String("baseline", "", "fail only on findings not in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: sparselint [-json] [patterns]\n\nchecks:\n")
+		fmt.Fprintf(stderr, "usage: sparselint [-json] [-checks list] [-baseline file] [-write-baseline file] [patterns]\n\nchecks:\n")
 		for _, c := range lint.AllChecks() {
-			fmt.Fprintf(stderr, "  %-16s %s\n", c.Name(), c.Doc())
+			fmt.Fprintf(stderr, "  %-16s [%s] %s\n", c.Name(), lint.CheckSeverity(c.Name()), c.Doc())
 		}
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *baselinePath != "" && *writeBaseline != "" {
+		fmt.Fprintln(stderr, "sparselint: -baseline and -write-baseline are mutually exclusive")
+		return 2
+	}
+
+	var names []string
+	if *checksFlag != "" {
+		for _, n := range strings.Split(*checksFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	checks, unknown := lint.SelectChecks(names)
+	if len(unknown) > 0 {
+		fmt.Fprintf(stderr, "sparselint: unknown checks in -checks: %s (known: %s)\n",
+			strings.Join(unknown, ", "), strings.Join(lint.CheckNames(), ", "))
+		return 2
+	}
+
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -85,19 +127,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pkgs = append(pkgs, loaded...)
 	}
 
-	diags := lint.Run(pkgs, lint.AllChecks())
-	// Report paths relative to the module root: stable across machines, and
-	// what the golden CI artifact diffs against.
+	diags := lint.Run(pkgs, checks)
+	// Report paths relative to the module root: stable across machines, what
+	// the CI artifact diffs against, and the form baseline entries match on —
+	// relativize BEFORE filtering.
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].File = filepath.ToSlash(rel)
 		}
 	}
 
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(diags)
+		if err := lint.WriteBaseline(*writeBaseline, b); err != nil {
+			fmt.Fprintln(stderr, "sparselint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "sparselint: wrote %d baseline entries to %s\n", len(b.Entries), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "sparselint:", err)
+			return 2
+		}
+		diags = b.Filter(diags)
+	}
+
 	if *jsonOut {
+		infos := make([]CheckInfo, len(checks))
+		for i, c := range checks {
+			infos[i] = CheckInfo{Name: c.Name(), Severity: lint.CheckSeverity(c.Name()), Doc: c.Doc()}
+		}
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(Report{Version: SchemaVersion, Count: len(diags), Diagnostics: diags}); err != nil {
+		if err := enc.Encode(Report{Version: SchemaVersion, Count: len(diags), Checks: infos, Diagnostics: diags}); err != nil {
 			fmt.Fprintln(stderr, "sparselint:", err)
 			return 2
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -38,7 +39,8 @@ func TestCleanPackageExitsZero(t *testing.T) {
 }
 
 // TestJSONSchemaRoundTrips checks the -json document: stable version string,
-// count matching the diagnostics slice, and unmarshal → marshal fidelity.
+// count matching the diagnostics slice, executed-check metadata, and
+// unmarshal → marshal fidelity.
 func TestJSONSchemaRoundTrips(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-json", "../../internal/lint/testdata/src/errwrap"}, &out, &errb)
@@ -52,12 +54,29 @@ func TestJSONSchemaRoundTrips(t *testing.T) {
 	if rep.Version != SchemaVersion {
 		t.Errorf("version = %q, want %q", rep.Version, SchemaVersion)
 	}
+	if SchemaVersion != "sparselint/v2" {
+		t.Errorf("SchemaVersion = %q, want the pinned sparselint/v2", SchemaVersion)
+	}
 	if rep.Count != len(rep.Diagnostics) || rep.Count == 0 {
 		t.Errorf("count = %d with %d diagnostics", rep.Count, len(rep.Diagnostics))
+	}
+	if len(rep.Checks) != len(lint.AllChecks()) {
+		t.Errorf("report lists %d checks, want the full catalog of %d", len(rep.Checks), len(lint.AllChecks()))
+	}
+	for _, c := range rep.Checks {
+		if c.Name == "" || c.Doc == "" {
+			t.Errorf("incomplete check info: %+v", c)
+		}
+		if c.Severity != lint.CheckSeverity(c.Name) {
+			t.Errorf("check %s severity = %q, want %q", c.Name, c.Severity, lint.CheckSeverity(c.Name))
+		}
 	}
 	for _, d := range rep.Diagnostics {
 		if d.Check != "errwrap" || d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
 			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Severity != "error" {
+			t.Errorf("errwrap diagnostic severity = %q, want error", d.Severity)
 		}
 		if strings.Contains(d.File, "\\") || strings.HasPrefix(d.File, "/") {
 			t.Errorf("file %q is not a slash-separated module-relative path", d.File)
@@ -97,5 +116,82 @@ func TestHelpListsEveryCheck(t *testing.T) {
 		if !strings.Contains(errb.String(), name) {
 			t.Errorf("usage text does not mention check %q:\n%s", name, errb.String())
 		}
+	}
+}
+
+// TestChecksFlagSelects runs a violating package under a check that cannot
+// fire on it (clean) and under the one that does (findings), and pins
+// unknown names to a usage error.
+func TestChecksFlagSelects(t *testing.T) {
+	const pkg = "../../internal/lint/testdata/src/panicdiscipline"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "errwrap", pkg}, &out, &errb); code != 0 {
+		t.Errorf("errwrap-only run exit = %d, want 0 (stdout: %s)", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-checks", "panicdiscipline", pkg}, &out, &errb); code != 1 {
+		t.Errorf("panicdiscipline-only run exit = %d, want 1", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-checks", "nosuchcheck", pkg}, &out, &errb); code != 2 {
+		t.Errorf("unknown check exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "nosuchcheck") {
+		t.Errorf("usage error does not name the unknown check:\n%s", errb.String())
+	}
+}
+
+// TestBaselineRoundTrip records a violating package's findings as a baseline
+// and verifies the same run filtered through it is clean, while a different
+// violation stays fresh.
+func TestBaselineRoundTrip(t *testing.T) {
+	const pkg = "../../internal/lint/testdata/src/panicdiscipline"
+	bp := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline", bp, pkg}, &out, &errb); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	b, err := lint.ReadBaseline(bp)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if b.Version != lint.BaselineVersion || len(b.Entries) == 0 {
+		t.Fatalf("baseline = %+v, want version %s with entries", b, lint.BaselineVersion)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", bp, pkg}, &out, &errb); code != 0 {
+		t.Errorf("baselined run exit = %d, want 0 (stdout: %s)", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined run produced output: %s", out.String())
+	}
+
+	// A package whose findings are NOT in the baseline still fails.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", bp, "../../internal/lint/testdata/src/errwrap"}, &out, &errb); code != 1 {
+		t.Errorf("fresh-findings run exit = %d, want 1", code)
+	}
+
+	var both bytes.Buffer
+	if code := run([]string{"-baseline", bp, "-write-baseline", bp, pkg}, &both, &both); code != 2 {
+		t.Errorf("-baseline with -write-baseline exit = %d, want 2", code)
+	}
+}
+
+// TestCommittedBaselineIsEmpty pins the repo contract: all real findings are
+// fixed in-tree, so the committed baseline carries no debt.
+func TestCommittedBaselineIsEmpty(t *testing.T) {
+	b, err := lint.ReadBaseline("../../.sparselint-baseline.json")
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("committed baseline carries %d entries; fix the findings instead of baselining them", len(b.Entries))
 	}
 }

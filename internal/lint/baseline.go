@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineVersion is the schema tag of the committed baseline file.
+const BaselineVersion = "sparselint/baseline/v1"
+
+// Baseline is a committed set of accepted findings: CI fails only on
+// findings NOT in the baseline, so a new check can land with pre-existing
+// debt recorded instead of blocking the tree. Entries match on
+// (check, file, message) — deliberately not on line/column, so unrelated
+// edits that shift a finding down a file do not break the build.
+type Baseline struct {
+	Version string          `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+func baselineKey(check, file, message string) string {
+	return check + "\x00" + file + "\x00" + message
+}
+
+// ReadBaseline loads and validates a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %q, want %q", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from current findings, sorted and
+// de-duplicated so the file is stable under re-generation.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	seen := make(map[string]bool, len(diags))
+	b := &Baseline{Version: BaselineVersion, Entries: []BaselineEntry{}}
+	for _, d := range diags {
+		k := baselineKey(d.Check, d.File, d.Message)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Entries = append(b.Entries, BaselineEntry{Check: d.Check, File: d.File, Message: d.Message})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter removes diagnostics matched by the baseline. An entry absorbs every
+// finding with its (check, file, message) — the coarse cut that stays stable
+// when lines move. Paths must be in the same form (relative vs absolute) on
+// both sides; the CLI relativizes before filtering.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic) {
+	accepted := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		accepted[baselineKey(e.Check, e.File, e.Message)] = true
+	}
+	for _, d := range diags {
+		if accepted[baselineKey(d.Check, d.File, d.Message)] {
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+// WriteBaseline serializes a baseline to path, newline-terminated and
+// indented for reviewable diffs.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// This file holds the parsers for the two comment directive families the
+// driver understands:
+//
+//	//lint:ignore <check> <reason>     — site suppression (suppress.go)
+//	//sparse:<kind> [arg]              — contract annotations
+//
+// Both parsers are pure functions over the raw comment text so they can be
+// fuzzed directly (FuzzSuppressDirective): they must never panic and must be
+// deterministic for any input.
+
+// IgnoreStatus classifies a comment against the //lint:ignore grammar.
+type IgnoreStatus int
+
+const (
+	// IgnoreNone: the comment is not an ignore directive at all.
+	IgnoreNone IgnoreStatus = iota
+	// IgnoreOK: a well-formed //lint:ignore <check> <reason>.
+	IgnoreOK
+	// IgnoreMissingCheck: bare "//lint:ignore" with nothing after it.
+	IgnoreMissingCheck
+	// IgnoreMissingReason: a check name but no reason. Reasons are
+	// mandatory — an unexplained suppression is a future bug.
+	IgnoreMissingReason
+)
+
+// ParseIgnoreDirective parses one raw comment ("//..." form, as in
+// ast.Comment.Text) against the //lint:ignore grammar. check and reason are
+// only meaningful when status is IgnoreOK (check is also set for
+// IgnoreMissingReason, so the caller can name it in the finding).
+func ParseIgnoreDirective(text string) (check, reason string, status IgnoreStatus) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return "", "", IgnoreNone
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, ignorePrefix)
+	if !ok {
+		return "", "", IgnoreNone
+	}
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 0:
+		return "", "", IgnoreMissingCheck
+	case 1:
+		return fields[0], "", IgnoreMissingReason
+	default:
+		return fields[0], strings.Join(fields[1:], " "), IgnoreOK
+	}
+}
+
+// SparseDirective is one parsed //sparse:<kind> annotation.
+type SparseDirective struct {
+	// Kind is the directive kind: "noalloc", "allocfree", or "guardedby".
+	Kind string
+	// Arg is the directive argument — for guardedby, the name of the
+	// sibling mutex field. Empty for the argument-less kinds.
+	Arg string
+}
+
+// sparsePrefix marks an annotation comment. The directive must be the whole
+// comment (after the "//"), so prose that merely mentions an annotation —
+// including indented doc-comment examples, which retain their leading "//"
+// after trimming — never parses as one.
+const sparsePrefix = "sparse:"
+
+// sparseKinds is the directive grammar: kind → exact argument count.
+var sparseKinds = map[string]int{
+	"noalloc":   0, // function contract: no steady-state allocation (noalloc, noallocdeep)
+	"allocfree": 0, // verified helper summary: callers may rely on it (noalloc, noallocdeep)
+	"guardedby": 1, // field contract: accesses hold the named sibling mutex (guardedby)
+}
+
+// ParseSparseDirective parses one raw comment against the //sparse:<kind>
+// grammar. isDirective is false when the comment is not a sparse directive at
+// all; a non-empty problem describes a malformed directive (unknown kind or
+// wrong argument count), which the driver reports as a "lint" finding so
+// annotations cannot silently rot.
+func ParseSparseDirective(text string) (d SparseDirective, problem string, isDirective bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return SparseDirective{}, "", false
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, sparsePrefix)
+	if !ok {
+		return SparseDirective{}, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return SparseDirective{}, "//sparse: directive is missing a kind (noalloc, allocfree, guardedby)", true
+	}
+	kind, args := fields[0], fields[1:]
+	want, known := sparseKinds[kind]
+	if !known {
+		return SparseDirective{}, "//sparse:" + kind + " is not a known directive (noalloc, allocfree, guardedby)", true
+	}
+	if len(args) != want {
+		return SparseDirective{}, "//sparse:" + kind + " takes exactly " + argCountWord(want) + ", got " + argCountWord(len(args)), true
+	}
+	d = SparseDirective{Kind: kind}
+	if want == 1 {
+		d.Arg = args[0]
+	}
+	return d, "", true
+}
+
+func argCountWord(n int) string {
+	if n == 1 {
+		return "1 argument"
+	}
+	return strconv.Itoa(n) + " arguments"
+}
+
+// funcDirective returns the allocation-contract annotation ("noalloc" or
+// "allocfree") carried by a function's doc comment, or "".
+func funcDirective(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if d, problem, ok := ParseSparseDirective(c.Text); ok && problem == "" {
+			if d.Kind == "noalloc" || d.Kind == "allocfree" {
+				return d.Kind
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzSuppressDirective fuzzes the two comment-directive parsers. They are
+// pure functions over raw comment text, so the contract is simple: never
+// panic, be deterministic, and keep the structural invariants below for
+// every input — including non-UTF-8 garbage and directive-like prose.
+func FuzzSuppressDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore noalloc one-time warm-up",
+		"//lint:ignore noalloc",
+		"//lint:ignore",
+		"// lint:ignore determinism spaced marker",
+		"//lint:ignorenoalloc glued",
+		"//sparse:noalloc",
+		"//sparse:allocfree",
+		"//sparse:guardedby mu",
+		"//sparse:guardedby",
+		"//sparse:guardedby a b",
+		"//sparse:unknownkind",
+		"//sparse:",
+		"// sparse:noalloc spaced",
+		"//\t//sparse:noalloc doc example",
+		"/* block */",
+		"",
+		"not a comment",
+		"//lint:ignore  extra   spacing   here",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		check, reason, status := ParseIgnoreDirective(text)
+		if c2, r2, s2 := ParseIgnoreDirective(text); c2 != check || r2 != reason || s2 != status {
+			t.Fatalf("ParseIgnoreDirective not deterministic on %q", text)
+		}
+		switch status {
+		case IgnoreNone:
+			if check != "" || reason != "" {
+				t.Fatalf("IgnoreNone with non-empty fields (%q, %q) on %q", check, reason, text)
+			}
+		case IgnoreOK:
+			if check == "" || reason == "" {
+				t.Fatalf("IgnoreOK with empty fields (%q, %q) on %q", check, reason, text)
+			}
+		case IgnoreMissingCheck:
+			if check != "" {
+				t.Fatalf("IgnoreMissingCheck with check %q on %q", check, text)
+			}
+		case IgnoreMissingReason:
+			if check == "" || reason != "" {
+				t.Fatalf("IgnoreMissingReason with fields (%q, %q) on %q", check, reason, text)
+			}
+		default:
+			t.Fatalf("unknown status %d on %q", status, text)
+		}
+		if strings.IndexFunc(check, unicode.IsSpace) >= 0 {
+			t.Fatalf("check %q contains whitespace on %q", check, text)
+		}
+		if status != IgnoreNone && !strings.HasPrefix(text, "//") {
+			t.Fatalf("directive recognized in non-line-comment %q", text)
+		}
+
+		d, problem, isDirective := ParseSparseDirective(text)
+		if d2, p2, i2 := ParseSparseDirective(text); d2 != d || p2 != problem || i2 != isDirective {
+			t.Fatalf("ParseSparseDirective not deterministic on %q", text)
+		}
+		if !isDirective {
+			if d != (SparseDirective{}) || problem != "" {
+				t.Fatalf("non-directive with fields (%+v, %q) on %q", d, problem, text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//") {
+			t.Fatalf("directive recognized in non-line-comment %q", text)
+		}
+		if problem != "" {
+			if d != (SparseDirective{}) {
+				t.Fatalf("malformed directive carries fields %+v on %q", d, text)
+			}
+			return
+		}
+		want, known := sparseKinds[d.Kind]
+		if !known {
+			t.Fatalf("well-formed directive with unknown kind %q on %q", d.Kind, text)
+		}
+		if (d.Arg != "") != (want == 1) {
+			t.Fatalf("kind %q arg %q disagrees with arity %d on %q", d.Kind, d.Arg, want, text)
+		}
+		if strings.IndexFunc(d.Arg, unicode.IsSpace) >= 0 {
+			t.Fatalf("arg %q contains whitespace on %q", d.Arg, text)
+		}
+	})
+}

@@ -1,0 +1,495 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// GuardedBy enforces lock discipline on shared struct state. A field
+// annotated
+//
+//	//sparse:guardedby mu
+//
+// (doc or line comment on the field; mu names a sibling sync.Mutex or
+// sync.RWMutex field) may only be accessed while that mutex is held: the
+// check walks every function with a statement-level lock-state abstraction —
+// X.mu.Lock()/RLock() acquires, X.mu.Unlock()/RUnlock() releases, defer
+// X.mu.Unlock() holds to function end, branches merge by intersection
+// (terminating branches drop out) — and flags accesses to an annotated field
+// whose base path does not hold its mutex.
+//
+// Two deliberate exemptions keep the lexical abstraction honest:
+//
+//   - constructor accesses — a base rooted at a variable declared inside the
+//     function body (the &Server{...} the function itself built) cannot be
+//     shared yet, so it is exempt;
+//   - closures are analyzed with an empty lock state of their own: a
+//     goroutine body does not inherit the spawning function's locks.
+//
+// Independently of annotations, fields of sync/atomic type (atomic.Int64,
+// atomic.Pointer[T], ...) must only be used through their methods or have
+// their address taken — copying or reassigning an atomic value races with
+// its users and defeats the alignment guarantees.
+//
+// The analysis is lexical, not aliasing-aware: a lock reached through two
+// different names is two locks. That is the right cut for this codebase,
+// where every guarded structure is accessed through its receiver.
+type GuardedBy struct{}
+
+func (GuardedBy) Name() string { return "guardedby" }
+
+func (GuardedBy) Doc() string {
+	return "fields annotated //sparse:guardedby <mu> must be accessed holding <mu>; sync/atomic fields must be used through their methods"
+}
+
+func (GuardedBy) Run(pass *Pass) {
+	if !libraryPackage(pass.Path) {
+		return
+	}
+	guarded := collectGuardedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			g := &guardedbyCtx{pass: pass, guarded: guarded, fn: fn}
+			g.walkStmts(fn.Body.List, lockState{})
+			checkAtomicFields(pass, fn)
+		}
+	}
+}
+
+// guardedField records one annotated field: the sibling mutex that guards
+// it.
+type guardedField struct {
+	mutex string
+}
+
+// collectGuardedFields scans struct declarations for //sparse:guardedby
+// annotations, validating that the named guard is a sibling sync.Mutex or
+// sync.RWMutex field.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	guarded := make(map[*types.Var]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutexName, ok := fieldGuardDirective(field)
+				if !ok {
+					continue
+				}
+				if !structHasMutexField(pass.Info, st, mutexName) {
+					pass.Reportf(field.Pos(), "//sparse:guardedby %s does not name a sibling sync.Mutex/RWMutex field", mutexName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardedField{mutex: mutexName}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// fieldGuardDirective extracts a guardedby annotation from a field's doc or
+// trailing line comment.
+func fieldGuardDirective(field *ast.Field) (mutex string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, problem, isDir := ParseSparseDirective(c.Text); isDir && problem == "" && d.Kind == "guardedby" {
+				return d.Arg, true
+			}
+		}
+	}
+	return "", false
+}
+
+// structHasMutexField reports whether st declares a field of the given name
+// whose type is sync.Mutex or sync.RWMutex.
+func structHasMutexField(info *types.Info, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, fname := range field.Names {
+			if fname.Name != name {
+				continue
+			}
+			v, ok := info.Defs[fname].(*types.Var)
+			return ok && isMutexType(v.Type())
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// lockState is the set of held lock paths ("<root-pos>.stats.latency.mu").
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect keeps locks held in every state.
+func intersect(states ...lockState) lockState {
+	if len(states) == 0 {
+		return lockState{}
+	}
+	out := states[0].clone()
+	for _, s := range states[1:] {
+		for k := range out {
+			if !s[k] {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+type guardedbyCtx struct {
+	pass    *Pass
+	guarded map[*types.Var]guardedField
+	fn      *ast.FuncDecl
+}
+
+// exprLockPath canonicalizes a selector chain to a stable path string rooted
+// at a variable ("<var-pos>" or "<var-pos>.field.field"), also returning the
+// root. Reports ok=false for expressions the lexical abstraction cannot
+// name (calls, indexing, ...).
+func (g *guardedbyCtx) exprLockPath(e ast.Expr) (path string, root *types.Var, ok bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, isVar := objectOf(g.pass.Info, e).(*types.Var)
+		if !isVar {
+			return "", nil, false
+		}
+		return strconv.Itoa(int(v.Pos())), v, true
+	case *ast.SelectorExpr:
+		p, r, pok := g.exprLockPath(e.X)
+		if !pok {
+			return "", nil, false
+		}
+		return p + "." + e.Sel.Name, r, true
+	case *ast.ParenExpr:
+		return g.exprLockPath(e.X)
+	case *ast.StarExpr:
+		return g.exprLockPath(e.X)
+	}
+	return "", nil, false
+}
+
+// lockOp classifies a statement-level call as acquire/release of a mutex
+// path: X.Lock()/RLock() or X.Unlock()/RUnlock() where X canonicalizes.
+func (g *guardedbyCtx) lockOp(call *ast.CallExpr) (path string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	p, _, ok := g.exprLockPath(sel.X)
+	if !ok {
+		return "", false, false
+	}
+	return p, acquire, release
+}
+
+// walkStmts runs the lock-state abstraction over a statement list and
+// returns the state at its end.
+func (g *guardedbyCtx) walkStmts(stmts []ast.Stmt, held lockState) lockState {
+	for _, s := range stmts {
+		held = g.walkStmt(s, held)
+	}
+	return held
+}
+
+func (g *guardedbyCtx) walkStmt(s ast.Stmt, held lockState) lockState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if path, acq, rel := g.lockOp(call); acq || rel {
+				out := held.clone()
+				if acq {
+					out[path] = true
+				} else {
+					delete(out, path)
+				}
+				return out
+			}
+		}
+		g.checkAccesses(s.X, held)
+		return held
+	case *ast.DeferStmt:
+		// defer X.Unlock() holds the lock to function end; other deferred
+		// work is checked (args now, closure bodies with their own state).
+		if _, _, rel := g.lockOp(s.Call); rel {
+			return held
+		}
+		g.checkAccesses(s.Call, held)
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = g.walkStmt(s.Init, held)
+		}
+		g.checkAccesses(s.Cond, held)
+		bodyOut := g.walkStmts(s.Body.List, held.clone())
+		if s.Else == nil {
+			if terminates(s.Body.List) {
+				return held
+			}
+			return intersect(held, bodyOut)
+		}
+		elseOut := g.walkStmt(s.Else, held.clone())
+		switch {
+		case terminates(s.Body.List) && stmtTerminates(s.Else):
+			return held
+		case terminates(s.Body.List):
+			return elseOut
+		case stmtTerminates(s.Else):
+			return bodyOut
+		default:
+			return intersect(bodyOut, elseOut)
+		}
+	case *ast.BlockStmt:
+		return g.walkStmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = g.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			g.checkAccesses(s.Cond, held)
+		}
+		bodyOut := g.walkStmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			bodyOut = g.walkStmt(s.Post, bodyOut)
+		}
+		return intersect(held, bodyOut)
+	case *ast.RangeStmt:
+		g.checkAccesses(s.X, held)
+		bodyOut := g.walkStmts(s.Body.List, held.clone())
+		return intersect(held, bodyOut)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = g.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			g.checkAccesses(s.Tag, held)
+		}
+		return g.walkClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = g.walkStmt(s.Init, held)
+		}
+		g.checkAccesses(s.Assign, held)
+		return g.walkClauses(s.Body, held)
+	case *ast.SelectStmt:
+		return g.walkClauses(s.Body, held)
+	case *ast.LabeledStmt:
+		return g.walkStmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine body runs later, under no inherited locks; its
+		// arguments are evaluated now.
+		for _, a := range s.Call.Args {
+			g.checkAccesses(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			g.walkStmts(lit.Body.List, lockState{})
+		} else {
+			g.checkAccesses(s.Call.Fun, held)
+		}
+		return held
+	case nil:
+		return held
+	default:
+		g.checkAccesses(s, held)
+		return held
+	}
+}
+
+// walkClauses merges switch/select clause bodies by intersection with the
+// incoming state (no clause may run).
+func (g *guardedbyCtx) walkClauses(body *ast.BlockStmt, held lockState) lockState {
+	outs := []lockState{held}
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				g.checkAccesses(e, held)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				g.checkAccesses(c.Comm, held)
+			}
+			stmts = c.Body
+		}
+		if !terminates(stmts) {
+			outs = append(outs, g.walkStmts(stmts, held.clone()))
+		} else {
+			g.walkStmts(stmts, held.clone())
+		}
+	}
+	return intersect(outs...)
+}
+
+// terminates reports whether a statement list always leaves the enclosing
+// scope: its last statement returns, branches, or panics.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Violatef" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// checkAccesses flags accesses to guarded fields under the current lock
+// state, inside one expression or statement subtree. Function literals are
+// re-entered with an empty lock state of their own.
+func (g *guardedbyCtx) checkAccesses(n ast.Node, held lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			g.walkStmts(x.Body.List, lockState{})
+			return false
+		case *ast.SelectorExpr:
+			g.checkFieldAccess(x, held)
+		}
+		return true
+	})
+}
+
+func (g *guardedbyCtx) checkFieldAccess(sel *ast.SelectorExpr, held lockState) {
+	selection, ok := g.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fieldVar, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	gf, ok := g.guarded[fieldVar]
+	if !ok {
+		return
+	}
+	basePath, root, ok := g.exprLockPath(sel.X)
+	if !ok {
+		// Base the lexical abstraction cannot name (call result, index
+		// expression): out of scope by design.
+		return
+	}
+	// Constructor exemption: a struct rooted at a variable declared inside
+	// this function body is not shared yet.
+	if root != nil && g.fn.Body != nil && root.Pos() >= g.fn.Body.Pos() && root.Pos() <= g.fn.Body.End() {
+		return
+	}
+	if !held[basePath+"."+gf.mutex] {
+		g.pass.Reportf(sel.Sel.Pos(), "access to %s is not guarded by %s.Lock() (//sparse:guardedby %s)",
+			fieldVar.Name(), gf.mutex, gf.mutex)
+	}
+}
+
+// checkAtomicFields flags copies and reassignments of sync/atomic-typed
+// struct fields anywhere in fn: the only sound uses are method calls on the
+// field and taking its address.
+func checkAtomicFields(pass *Pass, fn *ast.FuncDecl) {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldVar, ok := selection.Obj().(*types.Var)
+		if !ok || !isAtomicType(fieldVar.Type()) {
+			return true
+		}
+		switch p := parents[sel].(type) {
+		case *ast.SelectorExpr:
+			if p.X == sel {
+				if _, isMethod := objectOf(pass.Info, p.Sel).(*types.Func); isMethod {
+					return true // s.applied.Load(): the only sound access
+				}
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND && p.X == sel {
+				return true // &s.applied: passing the atomic by pointer
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(), "non-atomic access to sync/atomic field %s: use its methods or take its address", fieldVar.Name())
+		return true
+	})
+}
+
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}

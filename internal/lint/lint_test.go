@@ -126,6 +126,23 @@ func TestErrWrapGolden(t *testing.T) {
 	checkGolden(t, pkg, []Check{ErrWrap{}})
 }
 
+func TestDecodeBoundGolden(t *testing.T) {
+	pkg := loadTestdata(t, "decodebound", "sparselint/testdata/decodebound")
+	checkGolden(t, pkg, []Check{DecodeBound{}})
+}
+
+// TestNoAllocDeepGolden runs both allocation passes together: the testdata
+// uses //lint:ignore noalloc suppressions, which must name a known check.
+func TestNoAllocDeepGolden(t *testing.T) {
+	pkg := loadTestdata(t, "noallocdeep", "sparselint/testdata/noallocdeep")
+	checkGolden(t, pkg, []Check{NoAlloc{}, NoAllocDeep{}})
+}
+
+func TestGuardedByGolden(t *testing.T) {
+	pkg := loadTestdata(t, "guardedby", "sparselint/testdata/guardedby")
+	checkGolden(t, pkg, []Check{GuardedBy{}})
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	pkg := loadTestdata(t, "suppress", "sparselint/testdata/suppress")
 	checkGolden(t, pkg, AllChecks())
@@ -151,6 +168,31 @@ func TestSuppressionMalformed(t *testing.T) {
 	}
 }
 
+// TestSparseDirectiveMalformed pins the driver findings for broken //sparse:
+// annotations: wrong arity and unknown kind (asserted directly, since the
+// directive grammar swallows same-line want comments).
+func TestSparseDirectiveMalformed(t *testing.T) {
+	pkg := loadTestdata(t, "sparsebad", "sparselint/testdata/sparsebad")
+	diags := Run([]*Package{pkg}, AllChecks())
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Check != "lint" || !strings.Contains(diags[0].Message, "takes exactly 1 argument, got 0") {
+		t.Errorf("diag 0 = %v, want guardedby arity finding", diags[0])
+	}
+	if diags[1].Check != "lint" || !strings.Contains(diags[1].Message, "not a known directive") {
+		t.Errorf("diag 1 = %v, want unknown-kind finding", diags[1])
+	}
+	if diags[0].Line != 5 || diags[1].Line != 8 {
+		t.Errorf("lines = %d, %d; want 5, 8", diags[0].Line, diags[1].Line)
+	}
+	for _, d := range diags {
+		if d.Severity != "error" {
+			t.Errorf("driver finding severity = %q, want error: %v", d.Severity, d)
+		}
+	}
+}
+
 // TestScopeExemptions verifies the library-only checks skip command mains,
 // the harness, and the blessed invariant package, by reloading violating
 // testdata under exempt import paths.
@@ -172,10 +214,14 @@ func TestScopeExemptions(t *testing.T) {
 	}
 }
 
-// TestSelfLint asserts the whole module is clean under every check — the
-// test that pins the panic migration, the map-order fixes, and the noalloc
-// annotations.
-func TestSelfLint(t *testing.T) {
+// TestSelfLintV2 asserts the whole module is clean under every check of the
+// v2 catalog (all seven, interprocedural and lock-discipline passes
+// included), modulo the committed baseline — which this test also requires
+// to be exactly in sync: no finding outside the baseline, no baseline entry
+// that no longer fires. It pins the panic migration, the map-order fixes,
+// the noalloc/allocfree annotations, the decoder bound guards, and the serve
+// guardedby annotations.
+func TestSelfLintV2(t *testing.T) {
 	if testing.Short() {
 		t.Skip("self-lint type-checks the whole module; skipped in -short")
 	}
@@ -187,8 +233,30 @@ func TestSelfLint(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("LoadModule found only %d packages; the walk is broken", len(pkgs))
 	}
-	for _, d := range Run(pkgs, AllChecks()) {
-		t.Errorf("module not lint-clean: %s", d)
+	diags := Run(pkgs, AllChecks())
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	baseline, err := ReadBaseline(filepath.Join(root, ".sparselint-baseline.json"))
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	for _, d := range baseline.Filter(diags) {
+		t.Errorf("module not lint-clean (and not baselined): %s", d)
+	}
+	// Baseline-exact: every accepted entry must still fire, so stale debt
+	// records cannot mask a future regression at the same (check, file).
+	fired := make(map[string]bool, len(diags))
+	for _, d := range diags {
+		fired[d.Check+"\x00"+d.File+"\x00"+d.Message] = true
+	}
+	for _, e := range baseline.Entries {
+		if !fired[e.Check+"\x00"+e.File+"\x00"+e.Message] {
+			t.Errorf("stale baseline entry no longer fires: %s %s: %s", e.Check, e.File, e.Message)
+		}
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // NoAlloc enforces the steady-state zero-allocation contract on functions
@@ -13,8 +12,14 @@ import (
 //	//sparse:noalloc
 //
 // in their doc comment (the PR-4 engine hot paths, each pinned by a
-// testing.AllocsPerRun assertion — see DESIGN.md §7). Inside an annotated
-// function it flags the constructs that heap-allocate on every call:
+// testing.AllocsPerRun assertion — see DESIGN.md §7), and on helper
+// functions annotated
+//
+//	//sparse:allocfree
+//
+// (verified leaf summaries the interprocedural noallocdeep check relies on).
+// Inside an annotated function it flags the constructs that heap-allocate on
+// every call:
 //
 //   - make, new, and address-of composite literals (&T{...});
 //   - append whose destination is not rooted at the receiver, a parameter,
@@ -29,87 +34,98 @@ import (
 // invariant.Violatef are exempt wholesale: invariant failures are terminal,
 // so their formatting cost is irrelevant.
 //
-// The check is lexical — it does not chase allocations into callees — which
-// is exactly the granularity of the AllocsPerRun assertions it mirrors.
+// The check is lexical — it does not chase allocations into callees; that is
+// noallocdeep's job. Together they split the contract cleanly: noalloc owns
+// the direct constructs inside annotated functions, noallocdeep owns the
+// call edges out of them.
 type NoAlloc struct{}
 
 func (NoAlloc) Name() string { return "noalloc" }
 
 func (NoAlloc) Doc() string {
-	return "functions annotated //sparse:noalloc must not allocate: no make/new/&composite, no foreign appends, no string +, no fmt, no closures"
+	return "functions annotated //sparse:noalloc or //sparse:allocfree must not allocate: no make/new/&composite, no foreign appends, no string +, no fmt, no closures"
 }
-
-// noallocMarker is the annotation, written as its own line in the function's
-// doc comment.
-const noallocMarker = "sparse:noalloc"
 
 func (NoAlloc) Run(pass *Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hasMarker(fn.Doc) {
+			if !ok || fn.Body == nil {
 				continue
 			}
-			checkNoAlloc(pass, fn)
+			marker := funcDirective(fn.Doc)
+			if marker == "" {
+				continue
+			}
+			for _, fact := range collectAllocFacts(pass.Info, fn) {
+				pass.Reportf(fact.pos, "%s in //sparse:%s function", fact.long, marker)
+			}
 		}
 	}
 }
 
-func hasMarker(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == noallocMarker {
-			return true
-		}
-	}
-	return false
+// allocFact is one lexically-detected allocation site inside a function.
+// short is the compact description used in interprocedural summary chains
+// ("make", "fmt.Sprintf call"); long is the full clause used in lexical
+// diagnostics ("make ...; preallocate in an engine arena").
+type allocFact struct {
+	pos   token.Pos
+	short string
+	long  string
 }
 
-func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+// collectAllocFacts returns the direct allocation sites of fn, in source
+// order. The rules are exactly the lexical noalloc contract; both the
+// lexical check and the interprocedural summaries (noallocdeep) are built on
+// this one collector so they can never disagree about what allocates.
+func collectAllocFacts(info *types.Info, fn *ast.FuncDecl) []allocFact {
+	var facts []allocFact
+	add := func(pos token.Pos, short, long string) {
+		facts = append(facts, allocFact{pos: pos, short: short, long: long})
+	}
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isViolatefCall(pass.Info, n) {
+			if isViolatefCall(info, n) {
 				return false // terminal invariant path: formatting cost is irrelevant
 			}
 			switch {
-			case isBuiltinCall(pass.Info, n, "make"):
-				pass.Reportf(n.Pos(), "make in //sparse:noalloc function; preallocate in an engine arena")
-			case isBuiltinCall(pass.Info, n, "new"):
-				pass.Reportf(n.Pos(), "new in //sparse:noalloc function; preallocate in an engine arena")
-			case isBuiltinCall(pass.Info, n, "append"):
-				if len(n.Args) > 0 && !ownedRoot(pass, fn, n.Args[0]) {
-					pass.Reportf(n.Pos(), "append to a slice the function does not own in //sparse:noalloc function")
+			case isBuiltinCall(info, n, "make"):
+				add(n.Pos(), "make", "make")
+			case isBuiltinCall(info, n, "new"):
+				add(n.Pos(), "new", "new")
+			case isBuiltinCall(info, n, "append"):
+				if len(n.Args) > 0 && !ownedRoot(info, fn, n.Args[0]) {
+					add(n.Pos(), "foreign append", "append to a slice the function does not own")
 				}
 			default:
-				if path, name, _ := funcPkgPath(pass.Info, n); path == "fmt" {
-					pass.Reportf(n.Pos(), "fmt.%s allocates in //sparse:noalloc function", name)
+				if path, name, _ := funcPkgPath(info, n); path == "fmt" {
+					add(n.Pos(), "fmt."+name+" call", "fmt."+name+" allocates")
 				}
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "address-of composite literal escapes in //sparse:noalloc function")
+					add(n.Pos(), "&composite literal", "address-of composite literal escapes")
 				}
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD {
-				if tv, ok := pass.Info.Types[n.X]; ok {
+				if tv, ok := info.Types[n.X]; ok {
 					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						pass.Reportf(n.Pos(), "string concatenation allocates in //sparse:noalloc function")
+						add(n.Pos(), "string concatenation", "string concatenation allocates")
 					}
 				}
 			}
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure creation allocates in //sparse:noalloc function")
+			add(n.Pos(), "closure creation", "closure creation allocates")
 			return false // the closure body runs under its own contract
 		}
 		return true
 	}
 	ast.Inspect(fn.Body, walk)
+	return facts
 }
 
 // isViolatefCall reports whether call is invariant.Violatef — the blessed
@@ -123,7 +139,7 @@ func isViolatefCall(info *types.Info, call *ast.CallExpr) bool {
 // variable the function owns: its receiver, a parameter, or a local. Walks
 // through selectors, indexing, derefs, and parens to the base identifier —
 // e.g. e.ws[w].paths roots at the receiver e.
-func ownedRoot(pass *Pass, fn *ast.FuncDecl, dst ast.Expr) bool {
+func ownedRoot(info *types.Info, fn *ast.FuncDecl, dst ast.Expr) bool {
 	for {
 		switch x := ast.Unparen(dst).(type) {
 		case *ast.SelectorExpr:
@@ -135,9 +151,9 @@ func ownedRoot(pass *Pass, fn *ast.FuncDecl, dst ast.Expr) bool {
 		case *ast.SliceExpr:
 			dst = x.X
 		case *ast.Ident:
-			obj := pass.Info.Uses[x]
+			obj := info.Uses[x]
 			if obj == nil {
-				obj = pass.Info.Defs[x]
+				obj = info.Defs[x]
 			}
 			v, ok := obj.(*types.Var)
 			if !ok {

@@ -1,9 +1,5 @@
 package lint
 
-import (
-	"strings"
-)
-
 // suppression is one parsed //lint:ignore comment: it silences diagnostics of
 // the named check that land in file on the comment's own line or the line
 // directly below it (so both end-of-line and standalone-above placements
@@ -24,45 +20,82 @@ const ignorePrefix = "lint:ignore"
 func collectSuppressions(pkg *Package, known map[string]bool) (sup []suppression, bad []Diagnostic) {
 	report := func(pos int, line int, file string, msg string) {
 		bad = append(bad, Diagnostic{
-			Check:   "lint",
-			File:    file,
-			Line:    line,
-			Col:     pos,
-			Message: msg,
+			Check:    "lint",
+			Severity: "error",
+			File:     file,
+			Line:     line,
+			Col:      pos,
+			Message:  msg,
 		})
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignorePrefix) {
+				check, _, status := ParseIgnoreDirective(c.Text)
+				if status == IgnoreNone {
 					continue
 				}
 				position := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-				fields := strings.Fields(rest)
 				switch {
-				case len(fields) == 0:
+				case status == IgnoreMissingCheck:
 					report(position.Column, position.Line, position.Filename,
 						"malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"")
-				case len(fields) == 1:
+				case status == IgnoreMissingReason:
 					report(position.Column, position.Line, position.Filename,
-						"//lint:ignore "+fields[0]+" is missing a reason")
-				case !known[fields[0]]:
+						"//lint:ignore "+check+" is missing a reason")
+				case !known[check]:
 					report(position.Column, position.Line, position.Filename,
-						"//lint:ignore names unknown check "+fields[0])
+						"//lint:ignore names unknown check "+check)
 				default:
 					sup = append(sup, suppression{
 						file:  position.Filename,
 						line:  position.Line,
-						check: fields[0],
+						check: check,
 					})
 				}
 			}
 		}
 	}
 	return sup, bad
+}
+
+// ignoredSites returns the (file, line) positions of every well-formed
+// //lint:ignore comment naming one of the given checks, regardless of
+// whether the check is registered in this run. The interprocedural
+// allocation summaries consult this so a suppressed allocation site does not
+// poison its function's summary (see noallocdeep.go).
+func ignoredSites(pkg *Package, checks ...string) map[fileLine]bool {
+	want := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		want[c] = true
+	}
+	sites := make(map[fileLine]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				check, _, status := ParseIgnoreDirective(c.Text)
+				if status != IgnoreOK || !want[check] {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				sites[fileLine{position.Filename, position.Line}] = true
+			}
+		}
+	}
+	return sites
+}
+
+// fileLine keys a source line.
+type fileLine struct {
+	file string
+	line int
+}
+
+// coveredBy reports whether a site at (file, line) is covered by one of the
+// suppression comment positions in sites: the comment's own line or the line
+// directly above the site.
+func coveredBy(sites map[fileLine]bool, file string, line int) bool {
+	return sites[fileLine{file, line}] || sites[fileLine{file, line - 1}]
 }
 
 // applySuppressions drops diagnostics covered by a suppression. A

@@ -1,0 +1,131 @@
+// Package guardedby is golden testdata for the lock-discipline check:
+// fields annotated //sparse:guardedby <mu> must be accessed holding <mu>,
+// and sync/atomic fields must be used through their methods.
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int //sparse:guardedby mu
+
+	applied atomic.Int64
+}
+
+func (c *counter) IncLocked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) IncDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) IncUnlocked() {
+	c.n++ // want "access to n is not guarded by mu.Lock()"
+}
+
+func (c *counter) IncWrongMutex(other *sync.Mutex) {
+	other.Lock()
+	c.n++ // want "access to n is not guarded by mu.Lock()"
+	other.Unlock()
+}
+
+func (c *counter) ReadAfterUnlock() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want "access to n is not guarded by mu.Lock()"
+}
+
+// newCounter exercises the constructor exemption: a struct the function
+// itself built is not shared yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// EarlyReturn exercises the terminating-branch merge: the unlock-and-return
+// branch drops out, so the fallthrough path still holds the lock.
+func (c *counter) EarlyReturn(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// Spawn exercises closure isolation: the goroutine body does not inherit the
+// spawning function's locks.
+func (c *counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "access to n is not guarded by mu.Lock()"
+	}()
+}
+
+// Branchy exercises the intersection merge: only one arm acquires, so after
+// the if the lock is not held.
+func (c *counter) Branchy(lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+	c.n++ // want "access to n is not guarded by mu.Lock()"
+	if lock {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) AtomicOK() int64 {
+	return c.applied.Load()
+}
+
+func (c *counter) AtomicAddr() *atomic.Int64 {
+	return &c.applied
+}
+
+func (c *counter) AtomicCopy() atomic.Int64 {
+	return c.applied // want "non-atomic access to sync/atomic field applied"
+}
+
+// table exercises RWMutex read-locking.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int //sparse:guardedby mu
+}
+
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) BadGet(k string) int {
+	return t.m[k] // want "access to m is not guarded by mu.Lock()"
+}
+
+// weird exercises annotation validation: the named guard must be a sibling
+// mutex field.
+type weird struct {
+	notMu int
+
+	//sparse:guardedby notMu
+	x int // want "//sparse:guardedby notMu does not name a sibling sync.Mutex/RWMutex field"
+
+	//sparse:guardedby gone
+	y int // want "//sparse:guardedby gone does not name a sibling sync.Mutex/RWMutex field"
+}
+
+func useWeird(w *weird) int {
+	return w.x + w.y + w.notMu
+}

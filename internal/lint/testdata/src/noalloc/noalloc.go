@@ -51,3 +51,11 @@ func (e *engine) unannotated(n int) []int {
 	global = append(global, n)
 	return s
 }
+
+// helper carries the verified-summary annotation: the lexical contract
+// applies to it exactly as to //sparse:noalloc functions.
+//
+//sparse:allocfree
+func helper(n int) []int {
+	return make([]int, n) // want "make in //sparse:allocfree function"
+}

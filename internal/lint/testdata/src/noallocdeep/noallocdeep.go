@@ -1,0 +1,98 @@
+// Package noallocdeep is golden testdata for the interprocedural noalloc
+// check: calls inside annotated functions whose callees transitively
+// allocate are flagged even though the call site is lexically clean.
+package noallocdeep
+
+// buildBuf allocates; the lexical pass cannot see this from a caller.
+func buildBuf(n int) []byte {
+	return make([]byte, n)
+}
+
+// chain is lexically clean but transitively allocating.
+func chain(n int) []byte {
+	return buildBuf(n)
+}
+
+//sparse:noalloc
+func hot(n int) int {
+	b := chain(n) // want "call to chain allocates (chain → buildBuf: make) in //sparse:noalloc function"
+	return len(b)
+}
+
+// even/odd form an allocation-free cycle: the fixpoint must terminate and
+// conclude both are clean.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+//sparse:noalloc
+func hotCycle(n int) bool {
+	return even(n)
+}
+
+// pingAlloc/pongAlloc form an allocating cycle: taint must propagate around
+// it without looping forever.
+func pingAlloc(n int) []byte {
+	if n == 0 {
+		return make([]byte, 1)
+	}
+	return pongAlloc(n - 1)
+}
+
+func pongAlloc(n int) []byte {
+	return pingAlloc(n)
+}
+
+//sparse:noalloc
+func hotAllocCycle(n int) int {
+	return len(pongAlloc(n)) // want "call to pongAlloc allocates"
+}
+
+// leafClean carries the verified-summary annotation; callers trust it.
+//
+//sparse:allocfree
+func leafClean(x int) int {
+	return x * 2
+}
+
+//sparse:noalloc
+func hotTrust(n int) int {
+	return leafClean(n)
+}
+
+// badLeaf claims allocation freedom but calls an allocating helper: the
+// verified-summary annotation is itself verified.
+//
+//sparse:allocfree
+func badLeaf(n int) int {
+	return len(buildBuf(n)) // want "call to buildBuf allocates (buildBuf: make) in //sparse:allocfree function"
+}
+
+// warmup's allocation site carries a noalloc suppression, so it stays out of
+// the function's summary and callers are clean.
+func warmup(n int) []byte {
+	//lint:ignore noalloc one-time warm-up buffer kept for reuse
+	return make([]byte, n)
+}
+
+//sparse:noalloc
+func hotWarm(n int) int {
+	return len(warmup(n))
+}
+
+//sparse:noalloc
+func hotEdgeIgnored(n int) int {
+	//lint:ignore noallocdeep deliberate one-time growth path
+	b := chain(n)
+	return len(b)
+}

@@ -1,0 +1,9 @@
+// Package sparsebad holds malformed //sparse: annotations; the driver must
+// report each as a "lint" pseudo-check finding.
+package sparsebad
+
+//sparse:guardedby
+var x int
+
+//sparse:nolock
+var y int

@@ -168,8 +168,10 @@ func (e *Engine) ensure(n int) {
 		return
 	}
 	e.n = n
+	//lint:ignore noalloc deliberate arena growth: frozen bitset resizes to the largest graph seen
 	e.frozen = make([]uint64, (n+63)/64)
 	for i := range e.ws {
+		//lint:ignore noalloc deliberate arena growth: per-worker visited epochs resize with the graph
 		e.ws[i].visited = make([]uint32, n)
 		e.ws[i].epoch = 0
 	}
@@ -260,6 +262,8 @@ func (e *Engine) DisjointAugment(g *graph.Static, m *Matching, maxLen int) int {
 
 // discover runs the discovery searches of worker w: round-robin blocks of
 // the free list, stride many blocks apart.
+//
+//sparse:allocfree
 func (e *Engine) discover(w int, g *graph.Static, maxLen, stride int) {
 	s := &e.ws[w]
 	mates := e.snap
@@ -277,6 +281,7 @@ func (e *Engine) discover(w int, g *graph.Static, maxLen, stride int) {
 // receive); wg.Wait publishes the workers' candidate writes back.
 func (e *Engine) run() {
 	if e.pool == nil {
+		//lint:ignore noallocdeep one-time pool warm-up: workers and channels are built once and reused
 		e.startPool()
 	}
 	p := e.pool
@@ -318,6 +323,8 @@ func (e *Engine) startPool() {
 // replaces (neighbors in CSR order, recurse through the mate of the first
 // admissible matched neighbor), so results are unchanged — but the explicit
 // stack cannot exhaust a goroutine stack on 100k-vertex augmenting paths.
+//
+//sparse:allocfree
 func (s *searcher) search(g *graph.Static, mates []int32, root int32, maxLen int) (off, ln int32) {
 	s.epoch++
 	if s.epoch == 0 { // uint32 wrap after 2^32 searches: hard-reset the marks
@@ -369,6 +376,8 @@ func (s *searcher) search(g *graph.Static, mates []int32, root int32, maxLen int
 // applyPath augments m along the alternating path p = v0,w0,…,vk,wk: the
 // matched edges (w_i, v_{i+1}) leave the matching, the unmatched edges
 // (v_i, w_i) enter it, for a net gain of one.
+//
+//sparse:allocfree
 func applyPath(m *Matching, p []int32) {
 	for j := 1; j+1 < len(p); j += 2 {
 		m.Unmatch(p[j])

@@ -58,6 +58,8 @@ func WrapMates(mate []int32, size int) *Matching {
 
 // Reset empties the matching in place, reusing the mate array. It is the
 // allocation-free counterpart of NewMatching for engine-driven hot paths.
+//
+//sparse:allocfree
 func (m *Matching) Reset() {
 	for i := range m.mate {
 		m.mate[i] = -1
@@ -67,6 +69,8 @@ func (m *Matching) Reset() {
 
 // MatesInto appends the mate array to dst[:0] and returns it, reusing dst's
 // capacity when it suffices — the allocation-free counterpart of Mates.
+//
+//sparse:allocfree
 func (m *Matching) MatesInto(dst []int32) []int32 {
 	return append(dst[:0], m.mate...)
 }
@@ -78,12 +82,18 @@ func (m *Matching) N() int { return len(m.mate) }
 func (m *Matching) Size() int { return m.size }
 
 // Mate returns the partner of v, or -1 if v is free.
+//
+//sparse:allocfree
 func (m *Matching) Mate(v int32) int32 { return m.mate[v] }
 
 // IsMatched reports whether v is matched.
+//
+//sparse:allocfree
 func (m *Matching) IsMatched(v int32) bool { return m.mate[v] >= 0 }
 
 // Match adds the edge {u, v}. Both endpoints must currently be free.
+//
+//sparse:allocfree
 func (m *Matching) Match(u, v int32) {
 	if u == v || m.mate[u] >= 0 || m.mate[v] >= 0 {
 		invariant.Violatef("matching: cannot match (%d,%d): mates (%d,%d)", u, v, m.mate[u], m.mate[v])

@@ -60,6 +60,7 @@ func (e *Engine) relViewFor(g *graph.Static) *relView {
 // executed on the relabeled layout view. Size and maxLen checks and ensure
 // already ran in the caller.
 func (e *Engine) disjointAugmentRelabeled(g *graph.Static, m *Matching, maxLen int) int {
+	//lint:ignore noallocdeep per-graph layout cache: the relabeled view is computed once per graph and reused
 	view := e.relViewFor(g)
 	n := g.N()
 	perm, inv := view.perm, view.inv
@@ -68,6 +69,7 @@ func (e *Engine) disjointAugmentRelabeled(g *graph.Static, m *Matching, maxLen i
 	// (rsnap[perm[v]] = perm[mate[v]]), and collect the free vertices' new
 	// ids in ascending ORIGINAL id — the unrelabeled free-list order.
 	if cap(e.snap) < n {
+		//lint:ignore noalloc deliberate arena growth: relabeled snapshot resizes to the largest graph seen
 		e.snap = make([]int32, n)
 	}
 	e.snap = e.snap[:n]
@@ -85,6 +87,7 @@ func (e *Engine) disjointAugmentRelabeled(g *graph.Static, m *Matching, maxLen i
 		return 0
 	}
 	if cap(e.cands) < len(e.free) {
+		//lint:ignore noalloc deliberate arena growth: candidate buffer resizes with the free-vertex count
 		e.cands = make([]cand, len(e.free))
 	}
 	e.cands = e.cands[:len(e.free)]
@@ -135,6 +138,8 @@ func (e *Engine) disjointAugmentRelabeled(g *graph.Static, m *Matching, maxLen i
 
 // discoverOrd is discover with the original-order scan permutation: the same
 // round-robin block sharding, searching via searchOrd.
+//
+//sparse:allocfree
 func (e *Engine) discoverOrd(w int, g *graph.Static, scan []int32, maxLen, stride int) {
 	s := &e.ws[w]
 	mates := e.snap
@@ -151,6 +156,8 @@ func (e *Engine) discoverOrd(w int, g *graph.Static, scan []int32, maxLen, strid
 // scan window names the adjacency slot holding v's i-th neighbor in
 // ascending original id. Everything else — visited epochs, stack discipline,
 // path recording — is identical to search.
+//
+//sparse:allocfree
 func (s *searcher) searchOrd(g *graph.Static, scan []int32, mates []int32, root int32, maxLen int) (off, ln int32) {
 	s.epoch++
 	if s.epoch == 0 { // uint32 wrap after 2^32 searches: hard-reset the marks
@@ -201,6 +208,8 @@ func (s *searcher) searchOrd(g *graph.Static, scan []int32, mates []int32, root 
 
 // applyPathInv is applyPath through the inverse permutation: the path is in
 // relabeled ids, the matching in original ids.
+//
+//sparse:allocfree
 func applyPathInv(m *Matching, p []int32, inv []int32) {
 	for j := 1; j+1 < len(p); j += 2 {
 		m.Unmatch(inv[p[j]])

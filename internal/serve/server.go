@@ -182,7 +182,7 @@ type Server struct {
 	store   *Store // nil when CheckpointDir is unset
 
 	mu      sync.Mutex // guards matcher state and checkpoint capture
-	matcher Matcher
+	matcher Matcher    //sparse:guardedby mu
 	ckptMu  sync.Mutex // serializes durable checkpoint writes
 
 	applied  atomic.Uint64 // highest committed batch sequence
@@ -195,8 +195,8 @@ type Server struct {
 	partsCh chan part
 
 	connMu    sync.Mutex
-	conns     map[net.Conn]struct{}
-	listeners []net.Listener
+	conns     map[net.Conn]struct{} //sparse:guardedby connMu
+	listeners []net.Listener        //sparse:guardedby connMu
 	connWG    sync.WaitGroup
 	shardWG   sync.WaitGroup
 

@@ -21,9 +21,9 @@ const latencyRingSize = 4096
 // allocation-free per batch.
 type latencyRing struct {
 	mu     sync.Mutex
-	buf    [latencyRingSize]int64
-	next   int
-	filled int
+	buf    [latencyRingSize]int64 //sparse:guardedby mu
+	next   int                    //sparse:guardedby mu
+	filled int                    //sparse:guardedby mu
 }
 
 func (r *latencyRing) record(nanos int64) {

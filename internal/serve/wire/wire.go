@@ -46,6 +46,12 @@ const (
 
 	// maxString bounds length-prefixed strings (16-bit length).
 	maxString = 1<<16 - 1
+
+	// statPairMinBytes is the smallest encoding of one StatPair: a 2-byte
+	// name length (empty name) plus an 8-byte value. A claimed pair count
+	// must fit the remaining payload at this rate before anything is
+	// allocated for it.
+	statPairMinBytes = 10
 )
 
 // Frame types.
@@ -398,6 +404,9 @@ func decodePayload(typ byte, payload []byte) (Msg, error) {
 		count := r.u32("count")
 		if count > maxString {
 			r.fail("count", fmt.Sprintf("%d pairs exceeds %d", count, maxString))
+		}
+		if r.err == nil && int64(count)*statPairMinBytes > int64(len(r.b)) {
+			r.fail("count", fmt.Sprintf("count %d wants at least %d payload bytes, have %d", count, int64(count)*statPairMinBytes, len(r.b)))
 		}
 		if r.err == nil && count > 0 {
 			s.Pairs = make([]StatPair, count)
